@@ -1,0 +1,49 @@
+//! Criterion wrapper around a short §7.2.2 microbenchmark run: end-to-end
+//! throughput of baseline vs. immunized locking in both flavours.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dimmunix_bench::microbench::{build_pool, run_micro, Engine, Flavor, MicroParams};
+use dimmunix_bench::siggen;
+use dimmunix_core::{Config, Runtime};
+use std::time::Duration;
+
+fn short_params(flavor: Flavor) -> MicroParams {
+    MicroParams {
+        threads: 8,
+        locks: 8,
+        delta_in_us: 1,
+        delta_out_us: 50,
+        duration: Duration::from_millis(120),
+        flavor,
+        ..MicroParams::default()
+    }
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_throughput");
+    g.throughput(Throughput::Elements(1));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("baseline", |b| {
+        let p = short_params(Flavor::Raw);
+        b.iter(|| std::hint::black_box(run_micro(&p, &Engine::Baseline).ops));
+    });
+    for (name, flavor) in [
+        ("dimmunix_raw", Flavor::Raw),
+        ("dimmunix_raii", Flavor::Raii),
+    ] {
+        g.bench_function(name, |b| {
+            let p = short_params(flavor);
+            let rt = Runtime::start(Config::default()).unwrap();
+            let pool = build_pool(&p);
+            siggen::synthesize_history(&rt, &siggen::pool_frames(&pool), 64, 2, 5, 4);
+            b.iter(|| std::hint::black_box(run_micro(&p, &Engine::Dimmunix(rt.clone())).ops));
+            rt.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

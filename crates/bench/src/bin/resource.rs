@@ -1,0 +1,76 @@
+//! Regenerates the **§7.4 resource utilization** measurements: disk
+//! footprint of the history (200–1000 bytes/signature), memory overhead of
+//! the Dimmunix data structures across thread counts, and the (≈zero) CPU
+//! cost of the monitor.
+
+use dimmunix_bench::microbench::{build_pool, run_micro, Engine, MicroParams};
+use dimmunix_bench::report::{arg_u64, banner, scale_from_args, table, Scale};
+use dimmunix_bench::siggen;
+use dimmunix_core::{Config, Runtime};
+use std::time::Duration;
+
+fn main() {
+    let scale = scale_from_args();
+    let max_threads = arg_u64(
+        "max-threads",
+        match scale {
+            Scale::Quick => 32,
+            Scale::Normal => 256,
+            Scale::Full => 1024,
+        },
+    );
+    let millis = arg_u64("duration-ms", if scale == Scale::Quick { 100 } else { 250 });
+
+    banner("Resource utilization (§7.4): 64 two-thread signatures, 8-32 locks");
+
+    // History disk footprint.
+    let rt = Runtime::new(Config::default()).unwrap();
+    let pool = build_pool(&MicroParams::default());
+    siggen::synthesize_history(&rt, &siggen::pool_frames(&pool), 64, 2, 5, 4);
+    let bytes = rt
+        .history()
+        .serialized_bytes(rt.frame_table(), rt.stack_table());
+    println!(
+        "history: {} signatures, {} bytes on disk ({} bytes/signature; paper: 200-1000)",
+        rt.history().len(),
+        bytes,
+        bytes / rt.history().len().max(1)
+    );
+
+    // Memory footprint across thread counts.
+    let mut rows = Vec::new();
+    for locks in [8_usize, 32] {
+        let mut t = 2_u64;
+        while t <= max_threads {
+            let params = MicroParams {
+                threads: t as usize,
+                locks,
+                duration: Duration::from_millis(millis),
+                ..MicroParams::default()
+            };
+            let rt = Runtime::start(Config::default()).unwrap();
+            let pool = build_pool(&params);
+            siggen::synthesize_history(&rt, &siggen::pool_frames(&pool), 64, 2, 5, 4);
+            let _ = run_micro(&params, &Engine::Dimmunix(rt.clone()));
+            let mem = rt.memory_footprint();
+            let passes = rt.stats().monitor_passes;
+            rt.shutdown();
+            rows.push(vec![
+                locks.to_string(),
+                t.to_string(),
+                format!("{:.2}", mem as f64 / (1024.0 * 1024.0)),
+                passes.to_string(),
+            ]);
+            t *= 4;
+        }
+    }
+    table(
+        &["Locks", "Threads", "Dimmunix memory [MiB]", "Monitor passes"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: tens of KB of disk for a realistic history; memory grows with thread \
+         count (paper: 6-25 MB pthreads, 79-127 MB Java — theirs pre-allocates far more \
+         aggressively); CPU overhead of the monitor is negligible (a few wakeups per second)."
+    );
+}

@@ -1,0 +1,425 @@
+//! The §7.2.2 synchronization microbenchmark.
+//!
+//! `Nt` threads synchronize on `Nl` shared locks; a lock is held for δin
+//! before being released and a new lock is requested after δout (busy
+//! loops, simulating computation inside/outside critical sections). Each
+//! operation runs under a call path chosen uniformly from a pre-generated
+//! pool of depth-`D` paths, "generating a uniformly distributed selection
+//! of call stacks".
+//!
+//! Two flavours mirror the paper's two implementations:
+//! * [`Flavor::Raw`] — the pthreads flavour: [`dimmunix_core::RawLock`]
+//!   with pre-interned [`dimmunix_core::LockSite`]s (zero capture cost);
+//! * [`Flavor::Raii`] — the Java flavour: [`dimmunix_core::ImmunizedMutex`]
+//!   with the call path pushed as real context frames and captured (hashed
+//!   and interned) on every operation.
+
+use dimmunix_core::{context, ImmunizedMutex, LockSite, Runtime};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Function-name alphabet for call-path levels (8 names × 12 levels).
+const LEVEL_NAMES: [&str; 8] = [
+    "handleRequest",
+    "doFilter",
+    "processEvent",
+    "dispatch",
+    "acquireSocket",
+    "doForwardReq",
+    "onEvent",
+    "lockReq",
+];
+
+/// One pre-generated call path: a choice index per level.
+#[derive(Clone, Debug)]
+pub struct PoolPath {
+    /// `(level, choice)` per frame, outermost first. The final entry is the
+    /// lock site.
+    pub choices: Vec<(u32, u32)>,
+}
+
+impl PoolPath {
+    fn generate(rng: &mut StdRng, depth: usize, lock_sites: u32) -> Self {
+        let mut choices: Vec<(u32, u32)> = (0..depth.saturating_sub(1))
+            .map(|lvl| (lvl as u32, rng.gen_range(0..8)))
+            .collect();
+        // Innermost frame: the lock call site, drawn from a small alphabet
+        // so shallow suffixes collide often (as in real programs, where
+        // many paths funnel into the same lock wrapper).
+        choices.push((1_000, rng.gen_range(0..lock_sites)));
+        Self { choices }
+    }
+
+    /// Frame descriptors (function, file, line) for this path.
+    pub fn frames(&self) -> Vec<(&'static str, &'static str, u32)> {
+        self.choices
+            .iter()
+            .map(|&(lvl, choice)| {
+                if lvl == 1_000 {
+                    ("lockSite", "micro.rs", choice)
+                } else {
+                    (
+                        LEVEL_NAMES[choice as usize],
+                        "micro.rs",
+                        lvl * 100 + choice,
+                    )
+                }
+            })
+            .collect()
+    }
+}
+
+/// Microbenchmark parameters (defaults match the paper's Figure 5 setup
+/// except for the measurement window).
+#[derive(Clone, Debug)]
+pub struct MicroParams {
+    /// Number of worker threads (Nt).
+    pub threads: usize,
+    /// Number of shared locks (Nl).
+    pub locks: usize,
+    /// Busy time inside the critical section, µs (δin).
+    pub delta_in_us: u64,
+    /// Busy time between critical sections, µs (δout).
+    pub delta_out_us: u64,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Call-path depth D (the paper uses 10).
+    pub depth: usize,
+    /// Size of the random call-path pool.
+    pub path_pool: usize,
+    /// Distinct innermost lock-site frames.
+    pub lock_sites: u32,
+    /// RNG seed for path generation and per-op choices.
+    pub seed: u64,
+    /// API flavour.
+    pub flavor: Flavor,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        Self {
+            threads: 64,
+            locks: 8,
+            delta_in_us: 1,
+            delta_out_us: 1_000,
+            duration: Duration::from_millis(500),
+            depth: 10,
+            path_pool: 256,
+            lock_sites: 4,
+            seed: 42,
+            flavor: Flavor::Raw,
+        }
+    }
+}
+
+/// Which lock API the benchmark drives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Flavor {
+    /// Explicit lock/unlock with pre-interned sites ("pthreads").
+    Raw,
+    /// RAII mutex with per-op context capture ("Java").
+    Raii,
+}
+
+/// What supervises the locks.
+#[derive(Clone, Debug)]
+pub enum Engine {
+    /// Plain `parking_lot` mutexes — the non-immunized baseline.
+    Baseline,
+    /// Locks supervised by this Dimmunix runtime.
+    Dimmunix(Runtime),
+}
+
+/// Result of one microbenchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroReport {
+    /// Completed lock operations.
+    pub ops: u64,
+    /// Wall time of the measurement window.
+    pub elapsed: Duration,
+    /// Yields performed (Dimmunix engines only).
+    pub yields: u64,
+    /// Yield-timeout aborts.
+    pub aborts: u64,
+    /// Structural false positives (when configured).
+    pub structural_fps: u64,
+    /// Structural true positives (when configured).
+    pub structural_tps: u64,
+}
+
+impl MicroReport {
+    /// Lock operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Yields per second.
+    pub fn yields_per_sec(&self) -> f64 {
+        self.yields as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Relative overhead of `self` vs. a baseline report (% slower).
+    pub fn overhead_vs(&self, baseline: &MicroReport) -> f64 {
+        let base = baseline.ops_per_sec();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base - self.ops_per_sec()) / base * 100.0
+    }
+}
+
+fn spin_for(us: u64) {
+    if us == 0 {
+        return;
+    }
+    let end = Instant::now() + Duration::from_micros(us);
+    while Instant::now() < end {
+        core::hint::spin_loop();
+    }
+}
+
+/// `(file, line)` of the RAII-flavour lock call inside [`run_micro`],
+/// initialized by the shared-line trick at that call.
+static RAII_SITE: std::sync::OnceLock<(&'static str, u32)> = std::sync::OnceLock::new();
+
+/// The innermost frame every RAII-flavour captured stack ends with: the
+/// mutex lock call site inside the benchmark loop. Signature synthesis for
+/// the RAII flavour must append this frame (see
+/// [`crate::siggen::with_lock_frame`]) or nothing would ever match.
+///
+/// # Panics
+///
+/// Panics if no RAII-flavour run has executed yet in this process (the
+/// site is captured on first use).
+pub fn raii_lock_site() -> (&'static str, &'static str, u32) {
+    let &(file, line) = RAII_SITE
+        .get()
+        .expect("run a Raii-flavour microbenchmark first to capture the lock site");
+    ("<lock>", file, line)
+}
+
+/// Runs a tiny single-threaded RAII warmup so [`raii_lock_site`] becomes
+/// available before the measured run.
+pub fn warm_raii_site(rt: &Runtime) {
+    let p = MicroParams {
+        threads: 1,
+        locks: 1,
+        delta_in_us: 0,
+        delta_out_us: 0,
+        duration: Duration::from_millis(5),
+        path_pool: 1,
+        flavor: Flavor::Raii,
+        ..MicroParams::default()
+    };
+    let _ = run_micro(&p, &Engine::Dimmunix(rt.clone()));
+}
+
+/// Builds the path pool for `params` (deterministic in the seed).
+pub fn build_pool(params: &MicroParams) -> Vec<PoolPath> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..params.path_pool)
+        .map(|_| PoolPath::generate(&mut rng, params.depth, params.lock_sites))
+        .collect()
+}
+
+/// Interned [`LockSite`]s for every pool path (raw flavour).
+pub fn intern_pool(rt: &Runtime, pool: &[PoolPath]) -> Vec<LockSite> {
+    pool.iter().map(|p| rt.make_site(&p.frames())).collect()
+}
+
+/// Runs the microbenchmark, returning throughput and avoidance counters.
+pub fn run_micro(params: &MicroParams, engine: &Engine) -> MicroReport {
+    let pool = Arc::new(build_pool(params));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(params.threads + 1));
+    let total_ops = Arc::new(AtomicU64::new(0));
+
+    let stats_before = match engine {
+        Engine::Baseline => None,
+        Engine::Dimmunix(rt) => Some(rt.stats()),
+    };
+
+    enum Locks {
+        Plain(Vec<Mutex<()>>),
+        Raw(Vec<dimmunix_core::RawLock>, Vec<LockSite>),
+        Raii(Vec<ImmunizedMutex<()>>),
+    }
+    let locks = Arc::new(match (engine, params.flavor) {
+        (Engine::Baseline, _) => Locks::Plain((0..params.locks).map(|_| Mutex::new(())).collect()),
+        (Engine::Dimmunix(rt), Flavor::Raw) => Locks::Raw(
+            (0..params.locks).map(|_| rt.raw_lock()).collect(),
+            intern_pool(rt, &pool),
+        ),
+        (Engine::Dimmunix(rt), Flavor::Raii) => {
+            Locks::Raii((0..params.locks).map(|_| rt.mutex(())).collect())
+        }
+    });
+
+    let mut handles = Vec::with_capacity(params.threads);
+    for worker in 0..params.threads {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let start = Arc::clone(&start);
+        let total_ops = Arc::clone(&total_ops);
+        let locks = Arc::clone(&locks);
+        let p = params.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(p.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9));
+            let mut ops = 0_u64;
+            start.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let path_i = rng.gen_range(0..pool.len());
+                let lock_i = rng.gen_range(0..p.locks);
+                match &*locks {
+                    Locks::Plain(v) => {
+                        let g = v[lock_i].lock();
+                        spin_for(p.delta_in_us);
+                        drop(g);
+                    }
+                    Locks::Raw(v, sites) => {
+                        v[lock_i].lock(&sites[path_i]);
+                        spin_for(p.delta_in_us);
+                        v[lock_i].unlock();
+                    }
+                    Locks::Raii(v) => {
+                        // Push the call path as real context frames — the
+                        // per-op capture cost is the point of this flavour.
+                        let frames = pool[path_i].frames();
+                        let guards: Vec<_> = frames
+                            .iter()
+                            .map(|&(f, file, line)| {
+                                context::push_frame(context::RawFrame {
+                                    function: f,
+                                    file,
+                                    line,
+                                })
+                            })
+                            .collect();
+                        // Both statements share one source line so the
+                        // captured `#[track_caller]` location equals the
+                        // published `raii_lock_site()` (used by siggen).
+                        RAII_SITE.get_or_init(|| (file!(), line!())); let g = v[lock_i].lock();
+                        spin_for(p.delta_in_us);
+                        drop(g);
+                        drop(guards);
+                    }
+                }
+                ops += 1;
+                spin_for(p.delta_out_us);
+            }
+            total_ops.fetch_add(ops, Ordering::Relaxed);
+        }));
+    }
+
+    start.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(params.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("microbench worker panicked");
+    }
+    let elapsed = t0.elapsed();
+
+    let (yields, aborts, structural_fps, structural_tps) = match (engine, stats_before) {
+        (Engine::Dimmunix(rt), Some(before)) => {
+            let after = rt.stats();
+            (
+                after.yields - before.yields,
+                after.yield_aborts - before.yield_aborts,
+                after.structural_false_positives - before.structural_false_positives,
+                after.structural_true_positives - before.structural_true_positives,
+            )
+        }
+        _ => (0, 0, 0, 0),
+    };
+    MicroReport {
+        ops: total_ops.load(Ordering::Relaxed),
+        elapsed,
+        yields,
+        aborts,
+        structural_fps,
+        structural_tps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmunix_core::Config;
+
+    fn small() -> MicroParams {
+        MicroParams {
+            threads: 4,
+            locks: 4,
+            delta_in_us: 0,
+            delta_out_us: 10,
+            duration: Duration::from_millis(80),
+            path_pool: 32,
+            ..MicroParams::default()
+        }
+    }
+
+    #[test]
+    fn baseline_produces_throughput() {
+        let r = run_micro(&small(), &Engine::Baseline);
+        assert!(r.ops > 100, "{r:?}");
+        assert_eq!(r.yields, 0);
+    }
+
+    #[test]
+    fn dimmunix_raw_runs_with_empty_history() {
+        let rt = Runtime::start(Config::default()).unwrap();
+        let r = run_micro(&small(), &Engine::Dimmunix(rt.clone()));
+        assert!(r.ops > 100, "{r:?}");
+        assert_eq!(r.yields, 0, "no signatures, no yields");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dimmunix_raii_runs() {
+        let rt = Runtime::start(Config::default()).unwrap();
+        let params = MicroParams {
+            flavor: Flavor::Raii,
+            ..small()
+        };
+        let r = run_micro(&params, &Engine::Dimmunix(rt.clone()));
+        assert!(r.ops > 100, "{r:?}");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pool_is_deterministic_in_seed() {
+        let p = small();
+        let a = build_pool(&p);
+        let b = build_pool(&p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.choices, y.choices);
+        }
+    }
+
+    #[test]
+    fn synthetic_history_triggers_yields() {
+        // With signatures synthesized from the pool, the bench must start
+        // yielding (they are "avoided as if they were real").
+        let rt = Runtime::start(Config::default()).unwrap();
+        let mut params = small();
+        params.threads = 8;
+        params.delta_in_us = 200; // Hold locks long enough to overlap.
+        params.duration = Duration::from_millis(300);
+        let pool = build_pool(&params);
+        let added =
+            crate::siggen::synthesize_history(&rt, &crate::siggen::pool_frames(&pool), 64, 2, 7, 1);
+        assert!(added > 0);
+        let r = run_micro(&params, &Engine::Dimmunix(rt.clone()));
+        assert!(
+            r.yields > 0,
+            "synthesized signatures must cause avoidance: {r:?}"
+        );
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,102 @@
+//! Minimal argument parsing and table printing shared by the figure/table
+//! binaries.
+
+/// Scale at which a binary runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Seconds-long smoke run (CI-friendly).
+    Quick,
+    /// The default: minutes-scale, preserves every shape.
+    Normal,
+    /// Paper-scale parameters (1024 threads, long windows).
+    Full,
+}
+
+/// Parses `--quick` / `--full` (default [`Scale::Normal`]).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Normal
+    }
+}
+
+/// Reads `--<name> <value>` from argv.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a header banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an aligned table: `headers` then `rows` (all cells pre-formatted).
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// Formats a float with thousands grouping.
+pub fn num(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{:.0}", x)
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_num_format() {
+        assert_eq!(pct(2.567), "2.57%");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(12.34), "12.3");
+        assert_eq!(num(1.234), "1.234");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic deadlock-history generation (§7.2.1).
+//!
+//! "Since we had insufficient real deadlock signatures, we synthesized
+//! additional ones as random combinations of real program stacks with which
+//! the target system performs synchronization. From the point of view of
+//! avoidance overhead, synthesized signatures have the same effect as real
+//! ones."
+
+use crate::microbench::PoolPath;
+use dimmunix_core::{CycleKind, Runtime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A call path as frame descriptors (function, file, line), outermost first.
+pub type FramePath = Vec<(&'static str, &'static str, u32)>;
+
+/// Extracts the frame paths of a microbenchmark pool.
+pub fn pool_frames(pool: &[PoolPath]) -> Vec<FramePath> {
+    pool.iter().map(|p| p.frames()).collect()
+}
+
+/// Appends an extra innermost frame to every path (used to model the RAII
+/// flavour, where the mutex's `#[track_caller]` lock site terminates every
+/// captured stack).
+pub fn with_lock_frame(paths: &[FramePath], site: (&'static str, &'static str, u32)) -> Vec<FramePath> {
+    paths
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            q.push(site);
+            q
+        })
+        .collect()
+}
+
+/// Adds `h` synthetic signatures of `siglen` stacks each, drawn as random
+/// combinations of `paths`, at the given matching `depth`. Returns how many
+/// were actually added (duplicates are skipped by the history).
+pub fn synthesize_history(
+    rt: &Runtime,
+    paths: &[FramePath],
+    h: usize,
+    siglen: usize,
+    seed: u64,
+    depth: u8,
+) -> usize {
+    assert!(!paths.is_empty(), "need at least one call path");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < h && attempts < h * 20 {
+        attempts += 1;
+        let stacks: Vec<_> = (0..siglen)
+            .map(|_| {
+                let p = &paths[rng.gen_range(0..paths.len())];
+                rt.make_site(p).stack()
+            })
+            .collect();
+        if rt
+            .history()
+            .add(CycleKind::Deadlock, stacks, depth)
+            .is_some()
+        {
+            added += 1;
+        }
+    }
+    rt.history().touch();
+    added
+}
+
+/// The frame paths that [`crate::microbench::run_micro`] will actually
+/// capture for `flavor`: raw sites verbatim, RAII sites with the mutex
+/// lock-site frame appended (running a tiny warmup to discover it).
+pub fn paths_for_flavor(
+    rt: &Runtime,
+    pool: &[PoolPath],
+    flavor: crate::microbench::Flavor,
+) -> Vec<FramePath> {
+    let paths = pool_frames(pool);
+    match flavor {
+        crate::microbench::Flavor::Raw => paths,
+        crate::microbench::Flavor::Raii => {
+            crate::microbench::warm_raii_site(rt);
+            with_lock_frame(&paths, crate::microbench::raii_lock_site())
+        }
+    }
+}
+
+/// Sets every signature's matching depth (Figure 7's depth sweep).
+pub fn set_all_depths(rt: &Runtime, depth: u8) {
+    for sig in rt.history().snapshot().iter() {
+        sig.set_depth(depth);
+    }
+    rt.history().touch();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::{build_pool, MicroParams};
+    use dimmunix_core::Config;
+
+    #[test]
+    fn synthesizes_requested_count() {
+        let rt = Runtime::new(Config::default()).unwrap();
+        let pool = build_pool(&MicroParams::default());
+        let n = synthesize_history(&rt, &pool_frames(&pool), 64, 2, 1, 4);
+        assert_eq!(n, 64);
+        assert_eq!(rt.history().len(), 64);
+        // All have the requested depth and two stacks.
+        for sig in rt.history().snapshot().iter() {
+            assert_eq!(sig.depth(), 4);
+            assert_eq!(sig.size(), 2);
+        }
+    }
+
+    #[test]
+    fn deduplicates_collisions() {
+        let rt = Runtime::new(Config::default()).unwrap();
+        // Tiny path alphabet: collisions certain; count still honest.
+        let paths: Vec<FramePath> = vec![
+            vec![("a", "x.rs", 1)],
+            vec![("b", "x.rs", 2)],
+        ];
+        let n = synthesize_history(&rt, &paths, 10, 2, 1, 4);
+        assert_eq!(n, rt.history().len());
+        assert!(n <= 4, "only 4 distinct pairs exist, got {n}");
+    }
+
+    #[test]
+    fn set_all_depths_applies() {
+        let rt = Runtime::new(Config::default()).unwrap();
+        let pool = build_pool(&MicroParams::default());
+        synthesize_history(&rt, &pool_frames(&pool), 8, 2, 1, 4);
+        let gen0 = rt.history().generation();
+        set_all_depths(&rt, 8);
+        assert!(rt.history().generation() > gen0);
+        for sig in rt.history().snapshot().iter() {
+            assert_eq!(sig.depth(), 8);
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! The avoidance engine: `request` / `acquired` / `release` hooks and the
+//! RAG cache (§5.4, §5.6).
+//!
+//! This is the code on the application's lock/unlock path. It maintains the
+//! "simpler cache of parts of the RAG" the paper describes: the lock-owner
+//! map and the `Allowed` sets — here organized as suffix-keyed buckets so
+//! that signature instantiation checks are hash lookups — plus the set of
+//! currently yielding threads with their causes.
+//!
+//! The shared state is protected by a generalization of Peterson's
+//! algorithm (tournament tree by default, §5.6), so the avoidance layer
+//! never synchronizes through an OS lock of the kind it supervises; a plain
+//! mutex can be selected instead for comparison.
+//!
+//! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
+//! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
+//! threads (via `dimmunix-threadsim`) drive the same decision logic.
+
+use crate::config::{Config, GuardKind, RuntimeMode};
+use crate::event::{Event, YieldInfo};
+use crate::stats::Stats;
+use dimmunix_lockfree::{FilterLock, MpscQueue, SlotAllocator, TournamentLock};
+use dimmunix_rag::{LockId, ThreadId, YieldCause};
+use dimmunix_signature::{
+    suffix_matches, suffix_of, FrameId, History, MatchIndex, Signature, StackId, StackTable,
+};
+use parking_lot::{Mutex, RwLock};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Answer of the `request` hook (§3): GO means it is safe — with respect to
+/// the history — for the thread to block waiting for the lock; YIELD means
+/// proceeding could instantiate a known deadlock signature.
+#[derive(Clone, Debug)]
+pub enum Decision {
+    /// Safe to block waiting for the lock.
+    Go,
+    /// Yield and retry later; `sig` is the signature that would have been
+    /// instantiated.
+    Yield {
+        /// The matched signature.
+        sig: Arc<Signature>,
+    },
+}
+
+/// An `Allowed` entry: thread `t` holds, or is allowed to wait for, lock `l`
+/// having had call stack `stack`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct AllowedEntry {
+    t: ThreadId,
+    l: LockId,
+    stack: StackId,
+}
+
+/// The guarded shared state — the paper's RAG cache.
+struct CoreState {
+    /// Master copy of the `Allowed` multiset, keyed by `(thread, lock)`;
+    /// the stack vector has one element per reentrant nesting level.
+    entries: HashMap<(ThreadId, LockId), Vec<StackId>>,
+    /// `Allowed` entries bucketed by depth-truncated stack suffix, one inner
+    /// map per matching depth present in the history. This realizes the
+    /// paper's per-call-stack `Allowed` sets: instantiating a signature
+    /// means looking up each member stack's bucket, and "in most cases at
+    /// least one of these sets is empty".
+    buckets: HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>,
+    /// Distinct matching depths present in the (enabled) history.
+    depths: Vec<u8>,
+    /// Current lock owners with reentrancy counts — the always-current
+    /// lock-to-owner mapping the avoidance code needs (§5.1).
+    owner: HashMap<LockId, (ThreadId, u32)>,
+    /// Currently yielding threads and the `(cause thread, cause lock)` pairs
+    /// they wait out; consulted on every release to compute wakeups.
+    yielding: HashMap<ThreadId, Vec<(ThreadId, LockId)>>,
+    /// History generation the buckets/depths were built for.
+    built_gen: u64,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            buckets: HashMap::new(),
+            depths: Vec::new(),
+            owner: HashMap::new(),
+            yielding: HashMap::new(),
+            built_gen: u64::MAX,
+        }
+    }
+}
+
+/// [`CoreState`] behind the configured mutual-exclusion guard.
+struct GuardedState {
+    cell: UnsafeCell<CoreState>,
+    guard: GuardImpl,
+}
+
+enum GuardImpl {
+    Tournament(TournamentLock),
+    Filter(FilterLock),
+    Mutex(Mutex<()>),
+}
+
+// SAFETY: All access to `cell` goes through `GuardedState::with`, which
+// establishes mutual exclusion via the tournament/filter/mutex guard, so the
+// contained `CoreState` is never aliased mutably.
+unsafe impl Send for GuardedState {}
+// SAFETY: See above.
+unsafe impl Sync for GuardedState {}
+
+impl GuardedState {
+    fn new(kind: GuardKind, slots: usize) -> Self {
+        let guard = match kind {
+            GuardKind::Tournament => GuardImpl::Tournament(TournamentLock::new(slots)),
+            GuardKind::Filter => GuardImpl::Filter(FilterLock::new(slots)),
+            GuardKind::Mutex => GuardImpl::Mutex(Mutex::new(())),
+        };
+        Self {
+            cell: UnsafeCell::new(CoreState::new()),
+            guard,
+        }
+    }
+
+    /// Runs `f` with exclusive access to the state. `slot` identifies the
+    /// calling thread for the Peterson-style guards.
+    fn with<R>(&self, slot: usize, f: impl FnOnce(&mut CoreState) -> R) -> R {
+        match &self.guard {
+            GuardImpl::Tournament(t) => {
+                let _g = t.lock(slot);
+                // SAFETY: The tournament lock provides mutual exclusion
+                // among all slots, so no other `with` call can be accessing
+                // the cell concurrently.
+                f(unsafe { &mut *self.cell.get() })
+            }
+            GuardImpl::Filter(l) => {
+                let _g = l.lock(slot);
+                // SAFETY: As above, via the filter lock.
+                f(unsafe { &mut *self.cell.get() })
+            }
+            GuardImpl::Mutex(m) => {
+                let _g = m.lock();
+                // SAFETY: As above, via the mutex.
+                f(unsafe { &mut *self.cell.get() })
+            }
+        }
+    }
+}
+
+/// Per-registered-thread yield state (the paper's `yieldLock[T]` data,
+/// minus the parking primitive, which lives in the runtime layer so that
+/// simulated threads can use their own).
+#[derive(Default)]
+pub(crate) struct ThreadSlot {
+    pub(crate) yield_state: Mutex<YieldState>,
+}
+
+/// What a yielding thread is waiting out.
+#[derive(Default)]
+pub(crate) struct YieldState {
+    /// Causes of the current yield (empty when not yielding).
+    pub(crate) causes: Vec<YieldCause>,
+    /// The signature being avoided.
+    pub(crate) sig: Option<Arc<Signature>>,
+    /// Set by the monitor to break starvation: the thread must stop
+    /// yielding and pursue its most recently requested lock (§3).
+    pub(crate) broken: bool,
+}
+
+/// A matched signature instance, ready to be turned into a YIELD.
+struct Instance {
+    sig: Arc<Signature>,
+    depth_used: u8,
+    causes: Vec<YieldCause>,
+    bindings: Vec<(StackId, StackId)>,
+}
+
+/// The avoidance engine. One per runtime.
+pub struct AvoidanceCore {
+    state: GuardedState,
+    slots: Box<[ThreadSlot]>,
+    slot_alloc: SlotAllocator,
+    history: Arc<History>,
+    stacks: Arc<StackTable>,
+    index: RwLock<Option<Arc<MatchIndex>>>,
+    queue: Arc<MpscQueue<Event>>,
+    stats: Arc<Stats>,
+    config: Config,
+}
+
+/// Reserved guard slot for maintenance access (resource accounting).
+const MAINT_SLOT_OFFSET: usize = 1;
+
+impl AvoidanceCore {
+    /// Creates the engine.
+    pub fn new(
+        config: Config,
+        history: Arc<History>,
+        stacks: Arc<StackTable>,
+        queue: Arc<MpscQueue<Event>>,
+        stats: Arc<Stats>,
+    ) -> Self {
+        let n = config.max_threads;
+        Self {
+            state: GuardedState::new(config.guard, n + MAINT_SLOT_OFFSET),
+            slots: (0..n).map(|_| ThreadSlot::default()).collect(),
+            slot_alloc: SlotAllocator::new(n),
+            history,
+            stacks,
+            index: RwLock::new(None),
+            queue,
+            stats,
+            config,
+        }
+    }
+
+    /// The configured runtime mode.
+    pub fn mode(&self) -> RuntimeMode {
+        self.config.mode
+    }
+
+    /// Registers the calling (real or simulated) thread, returning its dense
+    /// id, or `None` when `max_threads` are already registered.
+    pub fn register_thread(&self) -> Option<ThreadId> {
+        let slot = self.slot_alloc.acquire()?;
+        Some(ThreadId(slot as u64))
+    }
+
+    /// Deregisters `t`, releasing its slot and cleaning its state.
+    pub fn unregister_thread(&self, t: ThreadId) {
+        let slot = t.0 as usize;
+        {
+            let mut ys = self.slots[slot].yield_state.lock();
+            *ys = YieldState::default();
+        }
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(slot, |state| {
+                state.yielding.remove(&t);
+                // Defensive: drop any Allowed entries the thread leaked.
+                let stale: Vec<(ThreadId, LockId)> = state
+                    .entries
+                    .keys()
+                    .filter(|&&(et, _)| et == t)
+                    .copied()
+                    .collect();
+                for key in stale {
+                    while Self::remove_entry_inner(&self.stacks, state, key.0, key.1).is_some() {}
+                }
+            });
+        }
+        self.queue.push(Event::ThreadExit { t });
+        self.slot_alloc.release(slot);
+    }
+
+    /// Interns a captured frame sequence.
+    pub fn intern_stack(&self, frames: &[FrameId]) -> StackId {
+        self.stacks.intern(frames)
+    }
+
+    /// The `request` hook: decides GO or YIELD for thread `t` wanting lock
+    /// `l` with call stack `frames`/`stack` (§5.4).
+    pub fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> Decision {
+        Stats::bump(&self.stats.requests);
+        self.queue.push(Event::Request { t, l, stack });
+
+        if self.config.mode == RuntimeMode::InstrumentationOnly {
+            Stats::bump(&self.stats.gos);
+            self.queue.push(Event::Go { t, l, stack });
+            return Decision::Go;
+        }
+
+        let slot = t.0 as usize;
+        let full = self.config.mode == RuntimeMode::Full;
+        let instance = self.state.with(slot, |state| {
+            self.refresh(state);
+            let instance = if full && !state.depths.is_empty() {
+                self.find_instance(state, t, l, frames, stack)
+            } else {
+                None
+            };
+            match instance {
+                None => {
+                    Self::add_entry(state, t, l, frames, stack);
+                    state.yielding.remove(&t);
+                    None
+                }
+                Some(inst) => {
+                    if self.config.enforce_yields {
+                        state
+                            .yielding
+                            .insert(t, inst.causes.iter().map(|c| (c.thread, c.lock)).collect());
+                    } else {
+                        // Measurement mode: record the would-be yield but
+                        // proceed as GO.
+                        Self::add_entry(state, t, l, frames, stack);
+                        state.yielding.remove(&t);
+                    }
+                    Some(inst)
+                }
+            }
+        });
+
+        match instance {
+            None => {
+                {
+                    let mut ys = self.slots[slot].yield_state.lock();
+                    ys.causes.clear();
+                    ys.sig = None;
+                    ys.broken = false;
+                }
+                Stats::bump(&self.stats.gos);
+                self.queue.push(Event::Go { t, l, stack });
+                Decision::Go
+            }
+            Some(inst) => {
+                let info = Box::new(YieldInfo {
+                    sig: inst.sig.id,
+                    depth_used: inst.depth_used,
+                    bindings: inst.bindings,
+                    causes: inst.causes.clone(),
+                });
+                inst.sig.record_avoided();
+                Stats::bump(&self.stats.yields);
+                self.queue.push(Event::Yield {
+                    t,
+                    l,
+                    stack,
+                    info,
+                });
+                if self.config.enforce_yields {
+                    let mut ys = self.slots[slot].yield_state.lock();
+                    ys.causes = inst.causes;
+                    ys.sig = Some(Arc::clone(&inst.sig));
+                    ys.broken = false;
+                    Decision::Yield { sig: inst.sig }
+                } else {
+                    Stats::bump(&self.stats.gos);
+                    self.queue.push(Event::Go { t, l, stack });
+                    Decision::Go
+                }
+            }
+        }
+    }
+
+    /// Grants the lock request without consulting the history — used when a
+    /// yield is broken by the monitor or times out: the thread "pursues its
+    /// most recently requested lock" (§3).
+    pub fn force_go(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(t.0 as usize, |state| {
+                self.refresh(state);
+                Self::add_entry(state, t, l, frames, stack);
+                state.yielding.remove(&t);
+            });
+        }
+        {
+            let mut ys = self.slots[t.0 as usize].yield_state.lock();
+            ys.causes.clear();
+            ys.sig = None;
+            ys.broken = false;
+        }
+        Stats::bump(&self.stats.gos);
+        self.queue.push(Event::Go { t, l, stack });
+    }
+
+    /// The `acquired` hook: the lock was actually obtained.
+    pub fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(t.0 as usize, |state| {
+                let owner = state.owner.entry(l).or_insert((t, 0));
+                owner.0 = t;
+                owner.1 += 1;
+            });
+        }
+        Stats::bump(&self.stats.acquisitions);
+        self.queue.push(Event::Acquired { t, l, stack });
+    }
+
+    /// Reentrant re-acquisition (Java monitor / recursive mutex): no
+    /// decision is needed — a thread cannot deadlock against itself — but
+    /// the hold multiset gains a level (§5.1) and the `Allowed` entry for
+    /// this nesting level is recorded.
+    pub fn acquired_reentrant(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(t.0 as usize, |state| {
+                self.refresh(state);
+                Self::add_entry(state, t, l, frames, stack);
+                let owner = state.owner.entry(l).or_insert((t, 0));
+                owner.0 = t;
+                owner.1 += 1;
+            });
+        }
+        Stats::bump(&self.stats.acquisitions);
+        self.queue.push(Event::Acquired { t, l, stack });
+    }
+
+    /// The `release` hook, invoked **before** the real unlock. Returns the
+    /// threads whose yields were caused by `(t, l)` — the caller must wake
+    /// them *after* performing the real unlock.
+    pub fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
+        let mut wake = Vec::new();
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(t.0 as usize, |state| {
+                Self::remove_entry_inner(&self.stacks, state, t, l);
+                if let Some(owner) = state.owner.get_mut(&l) {
+                    if owner.0 == t {
+                        owner.1 = owner.1.saturating_sub(1);
+                        if owner.1 == 0 {
+                            state.owner.remove(&l);
+                        }
+                    }
+                }
+                if !state.yielding.is_empty() {
+                    for (&yt, causes) in &state.yielding {
+                        if causes.iter().any(|&(ct, cl)| ct == t && cl == l) {
+                            wake.push(yt);
+                        }
+                    }
+                }
+            });
+        }
+        Stats::bump(&self.stats.releases);
+        self.queue.push(Event::Release { t, l });
+        wake
+    }
+
+    /// The `cancel` hook (§6): rolls back a granted-or-pending request after
+    /// a try/timed lock gave up.
+    pub fn cancel(&self, t: ThreadId, l: LockId) {
+        if self.config.mode != RuntimeMode::InstrumentationOnly {
+            self.state.with(t.0 as usize, |state| {
+                Self::remove_entry_inner(&self.stacks, state, t, l);
+                state.yielding.remove(&t);
+            });
+        }
+        {
+            let mut ys = self.slots[t.0 as usize].yield_state.lock();
+            ys.causes.clear();
+            ys.sig = None;
+            ys.broken = false;
+        }
+        self.queue.push(Event::Cancel { t, l });
+    }
+
+    /// Marks `t`'s current yield as broken (monitor starvation breaking).
+    /// Returns whether the thread was indeed yielding.
+    pub fn break_yield(&self, t: ThreadId) -> bool {
+        let slot = t.0 as usize;
+        if slot >= self.slots.len() {
+            return false;
+        }
+        let mut ys = self.slots[slot].yield_state.lock();
+        if ys.causes.is_empty() && ys.sig.is_none() {
+            return false;
+        }
+        ys.broken = true;
+        Stats::bump(&self.stats.yields_broken);
+        true
+    }
+
+    /// Consumes `t`'s broken flag; a yielding thread calls this on wakeup to
+    /// learn whether it must proceed without re-consulting the history.
+    pub fn take_broken(&self, t: ThreadId) -> bool {
+        let mut ys = self.slots[t.0 as usize].yield_state.lock();
+        if ys.broken {
+            ys.broken = false;
+            ys.causes.clear();
+            ys.sig = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `t` currently has an unconsumed yield in force.
+    pub fn is_yielding(&self, t: ThreadId) -> bool {
+        let ys = self.slots[t.0 as usize].yield_state.lock();
+        !ys.causes.is_empty() || ys.sig.is_some()
+    }
+
+    /// Approximate heap footprint of the avoidance state, in bytes (§7.4).
+    pub fn approx_bytes(&self) -> usize {
+        self.state.with(self.slots.len(), |state| {
+            let entry_sz = core::mem::size_of::<(ThreadId, LockId)>()
+                + core::mem::size_of::<Vec<StackId>>();
+            let mut total = state.entries.len() * entry_sz
+                + state
+                    .entries
+                    .values()
+                    .map(|v| v.len() * core::mem::size_of::<StackId>())
+                    .sum::<usize>();
+            for per_depth in state.buckets.values() {
+                for (k, v) in per_depth {
+                    total += k.len() * core::mem::size_of::<FrameId>()
+                        + v.len() * core::mem::size_of::<AllowedEntry>();
+                }
+            }
+            total += state.owner.len()
+                * (core::mem::size_of::<LockId>() + core::mem::size_of::<(ThreadId, u32)>());
+            total
+        }) + self.slots.len() * core::mem::size_of::<ThreadSlot>()
+    }
+
+    /// Rebuilds depth buckets (and the match index) if the history changed.
+    fn refresh(&self, state: &mut CoreState) {
+        let gen = self.history.generation();
+        if state.built_gen == gen {
+            return;
+        }
+        let snapshot = self.history.snapshot();
+        let mut depths: Vec<u8> = snapshot
+            .iter()
+            .filter(|s| !s.is_disabled())
+            .map(|s| s.depth())
+            .collect();
+        depths.sort_unstable();
+        depths.dedup();
+        state.depths = depths;
+        state.buckets.clear();
+        let entries: Vec<AllowedEntry> = state
+            .entries
+            .iter()
+            .flat_map(|(&(t, l), stacks)| {
+                stacks.iter().map(move |&stack| AllowedEntry { t, l, stack })
+            })
+            .collect();
+        for e in entries {
+            let frames = self.stacks.resolve(e.stack);
+            Self::bucket_insert(state, &frames, e);
+        }
+        if self.config.use_match_index {
+            *self.index.write() = Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)));
+        }
+        state.built_gen = gen;
+    }
+
+    fn bucket_insert(state: &mut CoreState, frames: &[FrameId], e: AllowedEntry) {
+        for &d in &state.depths {
+            let suffix = suffix_of(frames, d as usize);
+            let per_depth = state.buckets.entry(d).or_default();
+            if let Some(v) = per_depth.get_mut(suffix) {
+                v.push(e);
+            } else {
+                per_depth.insert(suffix.into(), vec![e]);
+            }
+        }
+    }
+
+    fn add_entry(state: &mut CoreState, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        state.entries.entry((t, l)).or_default().push(stack);
+        Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
+    }
+
+    /// Removes the innermost `Allowed` entry for `(t, l)`; returns its stack.
+    fn remove_entry_inner(
+        stacks: &StackTable,
+        state: &mut CoreState,
+        t: ThreadId,
+        l: LockId,
+    ) -> Option<StackId> {
+        let vec = state.entries.get_mut(&(t, l))?;
+        let stack = vec.pop()?;
+        if vec.is_empty() {
+            state.entries.remove(&(t, l));
+        }
+        let frames = stacks.resolve(stack);
+        let entry = AllowedEntry { t, l, stack };
+        for &d in &state.depths {
+            let suffix = suffix_of(&frames, d as usize);
+            if let Some(per_depth) = state.buckets.get_mut(&d) {
+                if let Some(v) = per_depth.get_mut(suffix) {
+                    if let Some(pos) = v.iter().position(|e| *e == entry) {
+                        v.swap_remove(pos);
+                    }
+                }
+            }
+        }
+        Some(stack)
+    }
+
+    /// Searches the history for a signature that the tentative allow edge
+    /// `(t, l, stack)` would instantiate (§5.4).
+    fn find_instance(
+        &self,
+        state: &CoreState,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) -> Option<Instance> {
+        if self.config.use_match_index {
+            let index = Arc::clone(self.index.read().as_ref()?);
+            for (sig, member) in index.candidates(frames) {
+                if let Some(inst) = self.try_cover(state, sig, member, t, l, stack) {
+                    return Some(inst);
+                }
+            }
+            None
+        } else {
+            // Paper-style linear walk over the history.
+            let snapshot = self.history.snapshot();
+            for sig in snapshot.iter() {
+                if sig.is_disabled() {
+                    continue;
+                }
+                let d = sig.depth() as usize;
+                for (mi, &mstack) in sig.stacks.iter().enumerate() {
+                    // Identical members produce identical searches.
+                    if mi > 0 && sig.stacks[mi - 1] == mstack {
+                        continue;
+                    }
+                    let mframes = self.stacks.resolve(mstack);
+                    if suffix_matches(frames, &mframes, d) {
+                        if let Some(inst) = self.try_cover(state, sig, mi, t, l, stack) {
+                            return Some(inst);
+                        }
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// Attempts to cover `sig`'s member stacks (anchoring the current thread
+    /// at member `anchor`) with distinct `(thread, lock)` entries from the
+    /// `Allowed` buckets — the "exact cover" of §3.
+    fn try_cover(
+        &self,
+        state: &CoreState,
+        sig: &Arc<Signature>,
+        anchor: usize,
+        t: ThreadId,
+        l: LockId,
+        stack: StackId,
+    ) -> Option<Instance> {
+        let d = sig.depth();
+        let members: Vec<usize> = (0..sig.stacks.len()).filter(|&i| i != anchor).collect();
+        let mut chosen: Vec<(ThreadId, LockId, StackId, StackId)> = Vec::new();
+        if self.cover_rec(state, sig, d, &members, 0, t, l, &mut chosen) {
+            let causes = chosen
+                .iter()
+                .map(|&(ct, cl, cs, _)| YieldCause {
+                    thread: ct,
+                    lock: cl,
+                    stack: cs,
+                })
+                .collect();
+            let mut bindings = vec![(stack, sig.stacks[anchor])];
+            bindings.extend(chosen.iter().map(|&(_, _, cs, ms)| (cs, ms)));
+            Some(Instance {
+                sig: Arc::clone(sig),
+                depth_used: d,
+                causes,
+                bindings,
+            })
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // Recursive helper over packed search state.
+    fn cover_rec(
+        &self,
+        state: &CoreState,
+        sig: &Arc<Signature>,
+        d: u8,
+        members: &[usize],
+        i: usize,
+        t: ThreadId,
+        l: LockId,
+        chosen: &mut Vec<(ThreadId, LockId, StackId, StackId)>,
+    ) -> bool {
+        if i == members.len() {
+            return true;
+        }
+        let mstack = sig.stacks[members[i]];
+        let mframes = self.stacks.resolve(mstack);
+        let suffix = suffix_of(&mframes, d as usize);
+        let Some(candidates) = state.buckets.get(&d).and_then(|m| m.get(suffix)) else {
+            return false;
+        };
+        for e in candidates {
+            let distinct = e.t != t
+                && e.l != l
+                && chosen.iter().all(|&(ct, cl, _, _)| ct != e.t && cl != e.l);
+            if !distinct {
+                continue;
+            }
+            chosen.push((e.t, e.l, e.stack, mstack));
+            if self.cover_rec(state, sig, d, members, i + 1, t, l, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for AvoidanceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AvoidanceCore")
+            .field("max_threads", &self.slots.len())
+            .field("history_len", &self.history.len())
+            .finish()
+    }
+}

@@ -1,0 +1,157 @@
+//! Runtime configuration.
+
+use dimmunix_signature::CalibrationConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Immunity level (§5.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Immunity {
+    /// Induced starvation is automatically broken (after saving its
+    /// signature) and the program continues. Least intrusive; some deadlock
+    /// patterns may reoccur, bounded by the maximum lock-nesting depth.
+    #[default]
+    Weak,
+    /// Every detected starvation asks the embedding application to restart
+    /// (via the restart hook). Guarantees no deadlock or starvation pattern
+    /// ever reoccurs.
+    Strong,
+}
+
+/// Which mutual-exclusion primitive guards the shared `Allowed` sets (§5.6).
+///
+/// The paper uses a generalization of Peterson's algorithm so that the
+/// avoidance code stays independent of the very lock implementation it
+/// supervises; an ordinary OS mutex works too and is faster uncontended —
+/// the `substrate` Criterion bench quantifies the trade (ablation #1 in
+/// DESIGN.md).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GuardKind {
+    /// Tournament tree of two-thread Peterson locks: O(log n), loads/stores
+    /// only. The paper-faithful default.
+    #[default]
+    Tournament,
+    /// Textbook n-thread filter lock: O(n); only sensible for small thread
+    /// counts.
+    Filter,
+    /// `parking_lot::Mutex`.
+    Mutex,
+}
+
+/// How much of the runtime is active — used to reproduce Figure 8's overhead
+/// breakdown (instrumentation / + data-structure updates / + avoidance).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RuntimeMode {
+    /// Hooks run and events are enqueued, but no avoidance data structure is
+    /// touched and every decision is GO.
+    InstrumentationOnly,
+    /// Hooks maintain the RAG cache (owner map, `Allowed` sets) but skip
+    /// signature matching; every decision is GO.
+    UpdatesOnly,
+    /// Full Dimmunix.
+    #[default]
+    Full,
+}
+
+/// Configuration of a [`crate::runtime::Runtime`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Monitor wakeup period τ (§5.2). The delay between a deadlock and its
+    /// detection is bounded by this. Default 100 ms.
+    pub monitor_period: Duration,
+    /// Matching depth given to newly captured signatures when calibration is
+    /// off (paper default: 4).
+    pub default_depth: u8,
+    /// Weak or strong immunity.
+    pub immunity: Immunity,
+    /// Upper bound on how long a thread may be kept yielding to avoid a
+    /// pattern; reaching it aborts the yield and lets the thread proceed
+    /// (§5.7's escape hatch against starvation-based functionality loss).
+    /// Default 200 ms.
+    pub max_yield_duration: Option<Duration>,
+    /// After this many yield-timeout aborts a signature is automatically
+    /// disabled as "too risky to avoid" (§5.7). `None` keeps counting but
+    /// never disables.
+    pub abort_disable_threshold: Option<u64>,
+    /// Online matching-depth calibration (§5.5); `None` keeps the fixed
+    /// [`Config::default_depth`].
+    pub calibration: Option<CalibrationConfig>,
+    /// Where the persistent history lives. `None` keeps it in memory only.
+    pub history_path: Option<PathBuf>,
+    /// Maximum concurrently registered threads (bounds the Peterson slots
+    /// and pre-allocated per-thread state; the paper evaluates up to 1024).
+    pub max_threads: usize,
+    /// Guard for the shared avoidance state.
+    pub guard: GuardKind,
+    /// Overhead-breakdown stage (Figure 8); [`RuntimeMode::Full`] for real
+    /// use.
+    pub mode: RuntimeMode,
+    /// When `false`, yield decisions are computed but ignored — the
+    /// "instrumented, but ignore all yield decisions" configuration used to
+    /// validate the Table 1 exploits.
+    pub enforce_yields: bool,
+    /// Consult the suffix-hash [`dimmunix_signature::MatchIndex`] to find
+    /// candidate signatures instead of scanning the whole history on every
+    /// request (ablation; both are benchmarked).
+    pub use_match_index: bool,
+    /// Structural false-positive accounting for the Figure 9 experiment:
+    /// when set to the program's full stack depth `D`, every yield is
+    /// classified immediately — a *true* positive if all instance bindings
+    /// also match at depth `D`, a *false* positive otherwise — into
+    /// [`crate::stats::Stats::structural_true_positives`] /
+    /// `structural_false_positives`. Independent of the retrospective
+    /// lock-inversion analysis.
+    pub structural_fp_reference_depth: Option<u8>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            monitor_period: Duration::from_millis(100),
+            default_depth: 4,
+            immunity: Immunity::Weak,
+            max_yield_duration: Some(Duration::from_millis(200)),
+            abort_disable_threshold: None,
+            calibration: None,
+            history_path: None,
+            max_threads: 4096,
+            guard: GuardKind::Tournament,
+            mode: RuntimeMode::Full,
+            enforce_yields: true,
+            use_match_index: true,
+            structural_fp_reference_depth: None,
+        }
+    }
+}
+
+impl Config {
+    /// Paper-default configuration for the §7 experiments: strong immunity,
+    /// τ = 100 ms, fixed matching depth 4.
+    pub fn paper_evaluation() -> Self {
+        Self {
+            immunity: Immunity::Strong,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.monitor_period, Duration::from_millis(100));
+        assert_eq!(c.default_depth, 4);
+        assert_eq!(c.immunity, Immunity::Weak);
+        assert_eq!(c.max_yield_duration, Some(Duration::from_millis(200)));
+        assert!(c.calibration.is_none());
+        assert!(c.enforce_yields);
+    }
+
+    #[test]
+    fn paper_evaluation_uses_strong_immunity() {
+        assert_eq!(Config::paper_evaluation().immunity, Immunity::Strong);
+    }
+}

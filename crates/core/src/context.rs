@@ -1,0 +1,170 @@
+//! Per-thread call-flow context.
+//!
+//! The paper's implementations obtain call stacks from the runtime (Java
+//! stack traces; `backtrace()` in pthreads). A Rust library cannot portably
+//! get *stable, execution-independent* return addresses, so Dimmunix-rs
+//! keeps an explicit per-thread frame stack: applications (and this repo's
+//! workloads and benchmarks) mark interesting call scopes with the
+//! [`frame!`](crate::frame) macro, and every lock operation appends its own
+//! call site captured via `#[track_caller]`. The resulting
+//! `(function, file, line)` sequences have exactly the semantics signatures
+//! need (§5.3): pure control-flow, no data, portable across runs.
+//!
+//! Scopes not annotated simply don't contribute frames — matching still
+//! works, just at a coarser granularity, precisely like choosing a shorter
+//! stack suffix (§5.5).
+
+use dimmunix_signature::{FrameId, FrameTable};
+use std::cell::RefCell;
+
+/// A call-scope descriptor pushed onto the thread's context stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RawFrame {
+    /// Function (or scope) name.
+    pub function: &'static str,
+    /// Source file.
+    pub file: &'static str,
+    /// Line number.
+    pub line: u32,
+}
+
+thread_local! {
+    static FRAME_STACK: RefCell<Vec<RawFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes `frame` onto the current thread's context stack; popped when the
+/// returned guard drops. Prefer the [`frame!`](crate::frame) macro.
+pub fn push_frame(frame: RawFrame) -> FrameGuard {
+    FRAME_STACK.with(|s| s.borrow_mut().push(frame));
+    FrameGuard { _priv: () }
+}
+
+/// Number of frames currently on this thread's context stack.
+pub fn depth() -> usize {
+    FRAME_STACK.with(|s| s.borrow().len())
+}
+
+/// Interns the current thread's context stack plus the given lock call
+/// site, returning the frame sequence (outermost first).
+pub fn capture(frames: &FrameTable, site: &std::panic::Location<'_>) -> Vec<FrameId> {
+    FRAME_STACK.with(|s| {
+        let stack = s.borrow();
+        let mut out = Vec::with_capacity(stack.len() + 1);
+        for f in stack.iter() {
+            out.push(frames.intern(f.function, f.file, f.line));
+        }
+        out.push(frames.intern("<lock>", site.file(), site.line()));
+        out
+    })
+}
+
+/// RAII guard popping one context frame on drop.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately pops the frame"]
+pub struct FrameGuard {
+    _priv: (),
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        FRAME_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Marks the current scope as a call-flow frame for signature purposes.
+///
+/// Place at the top of functions whose position in the call flow should
+/// distinguish deadlock patterns — e.g. the paper's `update()` called from
+/// two different sites (§4).
+///
+/// # Examples
+///
+/// ```
+/// use dimmunix_core::frame;
+///
+/// fn update() {
+///     frame!("update");
+///     // ... lock operations recorded under this frame ...
+/// }
+/// update();
+/// ```
+#[macro_export]
+macro_rules! frame {
+    ($name:expr) => {
+        let _dimmunix_frame_guard = $crate::context::push_frame($crate::context::RawFrame {
+            function: $name,
+            file: ::core::file!(),
+            line: ::core::line!(),
+        });
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_nest_and_unwind() {
+        assert_eq!(depth(), 0);
+        {
+            let _a = push_frame(RawFrame {
+                function: "a",
+                file: "t.rs",
+                line: 1,
+            });
+            assert_eq!(depth(), 1);
+            {
+                let _b = push_frame(RawFrame {
+                    function: "b",
+                    file: "t.rs",
+                    line: 2,
+                });
+                assert_eq!(depth(), 2);
+            }
+            assert_eq!(depth(), 1);
+        }
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn capture_appends_lock_site() {
+        let table = FrameTable::new();
+        let _a = push_frame(RawFrame {
+            function: "caller",
+            file: "t.rs",
+            line: 10,
+        });
+        let site = std::panic::Location::caller();
+        let frames = capture(&table, site);
+        assert_eq!(frames.len(), 2);
+        let outer = table.resolve(frames[0]);
+        assert_eq!(&*outer.function, "caller");
+        let inner = table.resolve(frames[1]);
+        assert_eq!(&*inner.function, "<lock>");
+    }
+
+    #[test]
+    fn frame_macro_pushes_scope() {
+        fn update() -> usize {
+            frame!("update");
+            depth()
+        }
+        assert_eq!(depth(), 0);
+        assert_eq!(update(), 1);
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn context_is_thread_local() {
+        let _a = push_frame(RawFrame {
+            function: "main-thread",
+            file: "t.rs",
+            line: 1,
+        });
+        let other = std::thread::spawn(depth).join().unwrap();
+        assert_eq!(other, 0);
+        assert_eq!(depth(), 1);
+    }
+}

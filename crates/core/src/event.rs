@@ -1,0 +1,142 @@
+//! Events flowing from the avoidance instrumentation to the monitor thread.
+//!
+//! The avoidance code enqueues `request`, `go`, `yield`, `acquired`,
+//! `release` (and, for try/timed locks, `cancel`) events onto the lock-free
+//! queue drained by the monitor (§3, Figure 1). Events enqueued by one
+//! thread are FIFO; across threads the queue preserves the order of
+//! enqueueing, which — given the hook placement (the `release` event
+//! precedes the real unlock, the `acquired` event follows the real lock) —
+//! yields the partial order the RAG needs (§5.2).
+
+use dimmunix_rag::{LockId, ThreadId, YieldCause};
+use dimmunix_signature::{SigId, StackId};
+
+/// Context attached to a `yield` event, consumed by the monitor for RAG
+/// maintenance, false-positive probing and depth calibration.
+#[derive(Clone, Debug)]
+pub struct YieldInfo {
+    /// The signature whose instantiation was anticipated.
+    pub sig: SigId,
+    /// The matching depth in force when the decision was made.
+    pub depth_used: u8,
+    /// `(runtime stack, signature member stack)` pairs for every binding in
+    /// the matched instance — the yielder first, then the causes. Used by
+    /// calibration to answer "would this avoidance also have fired at depth
+    /// k + 1?" (§5.5).
+    pub bindings: Vec<(StackId, StackId)>,
+    /// The `(T′, L′, S′)` tuples that caused the yield (§5.6's `yieldCause`).
+    pub causes: Vec<YieldCause>,
+}
+
+/// One avoidance-side event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Thread `t` asked to lock `l` with call stack `stack`.
+    Request {
+        /// Requesting thread.
+        t: ThreadId,
+        /// Requested lock.
+        l: LockId,
+        /// Call stack at the request.
+        stack: StackId,
+    },
+    /// The request was granted: `t` may block waiting for `l` (allow edge).
+    Go {
+        /// Requesting thread.
+        t: ThreadId,
+        /// Requested lock.
+        l: LockId,
+        /// Call stack at the request.
+        stack: StackId,
+    },
+    /// The request was denied: `t` yields because of `info.causes`.
+    Yield {
+        /// Yielding thread.
+        t: ThreadId,
+        /// The lock it still wants (the allow edge is flipped to request).
+        l: LockId,
+        /// Call stack at the request.
+        stack: StackId,
+        /// Avoidance context (boxed: yields are rare, events are hot).
+        info: Box<YieldInfo>,
+    },
+    /// `t` actually acquired `l` (hold edge; one per reentrant level).
+    Acquired {
+        /// Acquiring thread.
+        t: ThreadId,
+        /// Acquired lock.
+        l: LockId,
+        /// Call stack at acquisition — the hold edge label.
+        stack: StackId,
+    },
+    /// `t` is about to release `l` (enqueued *before* the real unlock).
+    Release {
+        /// Releasing thread.
+        t: ThreadId,
+        /// Released lock.
+        l: LockId,
+    },
+    /// A granted or pending request was rolled back (try/timed lock timed
+    /// out, §6's `cancel` event).
+    Cancel {
+        /// The thread whose request is withdrawn.
+        t: ThreadId,
+        /// The lock it no longer waits for.
+        l: LockId,
+    },
+    /// Thread `t` deregistered from the runtime.
+    ThreadExit {
+        /// The exiting thread.
+        t: ThreadId,
+    },
+}
+
+impl Event {
+    /// The thread this event belongs to.
+    pub fn thread(&self) -> ThreadId {
+        match *self {
+            Event::Request { t, .. }
+            | Event::Go { t, .. }
+            | Event::Yield { t, .. }
+            | Event::Acquired { t, .. }
+            | Event::Release { t, .. }
+            | Event::Cancel { t, .. }
+            | Event::ThreadExit { t } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_accessor_covers_all_variants() {
+        let t = ThreadId(7);
+        let l = LockId(1);
+        let s = StackId(0);
+        let info = Box::new(YieldInfo {
+            sig: SigId(0),
+            depth_used: 4,
+            bindings: vec![],
+            causes: vec![],
+        });
+        let events = [
+            Event::Request { t, l, stack: s },
+            Event::Go { t, l, stack: s },
+            Event::Yield {
+                t,
+                l,
+                stack: s,
+                info,
+            },
+            Event::Acquired { t, l, stack: s },
+            Event::Release { t, l },
+            Event::Cancel { t, l },
+            Event::ThreadExit { t },
+        ];
+        for e in &events {
+            assert_eq!(e.thread(), t);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # Dimmunix: deadlock immunity for Rust programs
+//!
+//! An implementation of *"Deadlock Immunity: Enabling Systems To Defend
+//! Against Deadlocks"* (Jula, Tralamazza, Zamfir, Candea — OSDI 2008).
+//!
+//! Deadlock immunity is the property by which a program, once afflicted by
+//! a deadlock, develops resistance against future occurrences of that
+//! deadlock pattern. The first time a deadlock manifests, Dimmunix captures
+//! its **signature** — the multiset of call stacks involved — into a
+//! persistent **history**; on subsequent runs (or later in the same run),
+//! the `request` hook on every lock acquisition checks whether blocking
+//! would *instantiate* a known signature and, if so, forces the thread to
+//! **yield** until the danger passes. An asynchronous **monitor** thread
+//! maintains a resource allocation graph from a lock-free event stream,
+//! detects both real deadlocks and avoidance-induced starvation, and keeps
+//! the program live.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dimmunix_core::{Config, Runtime};
+//!
+//! // One runtime per program; spawn the monitor for asynchronous detection.
+//! let rt = Runtime::new(Config::default()).unwrap();
+//!
+//! // Drop-in mutex with immunity.
+//! let account = rt.mutex(100_i64);
+//! {
+//!     let mut balance = account.lock();
+//!     *balance -= 30;
+//! }
+//! assert_eq!(*account.lock(), 70);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`runtime::Runtime`] — owns everything; one per program.
+//! * [`sync::ImmunizedMutex`], [`sync::ReentrantLock`] — RAII lock types
+//!   (the "Java flavour": rich per-operation stack capture).
+//! * [`raw::RawLock`] + [`raw::LockSite`] — explicit lock/unlock (the
+//!   "pthreads flavour": pre-interned stacks, near-zero capture cost).
+//! * [`avoidance::AvoidanceCore`] — the `request`/`acquired`/`release`
+//!   decision engine and RAG cache, addressable with explicit thread ids so
+//!   simulators can drive it.
+//! * [`monitor::Monitor`] — cycle detection, signature archival, starvation
+//!   breaking, false-positive probes, calibration.
+//! * [`context`] + [`frame!`] — the per-thread call-flow frames that give
+//!   signatures their shape.
+
+#![warn(missing_docs)]
+
+pub mod avoidance;
+pub mod config;
+pub mod context;
+pub mod event;
+pub mod monitor;
+pub mod raw;
+pub mod runtime;
+pub mod stats;
+pub mod sync;
+
+pub use avoidance::{AvoidanceCore, Decision};
+pub use config::{Config, GuardKind, Immunity, RuntimeMode};
+pub use event::{Event, YieldInfo};
+pub use monitor::{Hooks, Monitor};
+pub use raw::{LockSite, RawLock};
+pub use runtime::{ParkOutcome, Runtime};
+pub use stats::{Stats, StatsSnapshot};
+pub use sync::{ImmunizedMutex, ImmunizedMutexGuard, ReentrantGuard, ReentrantLock};
+
+// Re-export the identifier types and signature machinery that appear in our
+// public API, so downstream crates need only depend on `dimmunix-core`.
+pub use dimmunix_rag::{LockId, ThreadId, YieldCause};
+pub use dimmunix_signature::{
+    CalibrationConfig, CycleKind, Frame, FrameId, FrameTable, History, HistoryError, SigId,
+    Signature, StackId, StackTable,
+};

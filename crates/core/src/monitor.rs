@@ -1,0 +1,457 @@
+//! The monitor thread (§5.2 and Figure 1).
+//!
+//! Periodically drains the lock-free event queue, replays the events into
+//! the full [`Rag`], searches for deadlock and yield cycles, archives new
+//! signatures into the persistent history, breaks induced starvation (weak
+//! immunity) or requests a restart (strong immunity), and runs the
+//! retrospective false-positive analysis that feeds matching-depth
+//! calibration (§5.5).
+//!
+//! The monitor is deliberately separable from wall-clock time: the runtime
+//! can either spawn it on a dedicated thread with period τ, or call
+//! [`Monitor::step`] manually ("embedded mode") — which is how the
+//! deterministic thread simulator drives it.
+
+use crate::avoidance::AvoidanceCore;
+use crate::config::{Config, Immunity};
+use crate::event::{Event, YieldInfo};
+use crate::stats::Stats;
+use dimmunix_lockfree::MpscQueue;
+use dimmunix_rag::{LockId, Rag, ThreadId, YieldCause};
+use dimmunix_signature::{
+    suffix_matches, CalibrationUpdate, CallStack, CycleKind, FrameTable, History, HistoryError,
+    Signature, StackId, StackTable,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Callbacks invoked by the monitor on notable occurrences.
+///
+/// The deadlock hook is the paper's "application-specific deadlock
+/// resolution" extension point (§3) — e.g. a checkpoint/rollback facility
+/// could be plugged in here. The restart hook implements strong immunity:
+/// the embedding application decides how to restart itself.
+#[derive(Default)]
+pub struct Hooks {
+    /// Called after a deadlock cycle was detected and its signature saved.
+    pub on_deadlock: Option<Box<dyn Fn(&Arc<Signature>, &[ThreadId]) + Send + Sync>>,
+    /// Called after an induced-starvation cycle was detected and saved.
+    pub on_starvation: Option<Box<dyn Fn(&Arc<Signature>, &[ThreadId]) + Send + Sync>>,
+    /// Called under strong immunity whenever starvation is encountered: the
+    /// program should restart.
+    pub on_restart_required: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Hooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hooks")
+            .field("on_deadlock", &self.on_deadlock.is_some())
+            .field("on_starvation", &self.on_starvation.is_some())
+            .field("on_restart_required", &self.on_restart_required.is_some())
+            .finish()
+    }
+}
+
+/// Upper bound on ops collected per false-positive probe.
+const PROBE_OP_CAP: usize = 10_000;
+/// Upper bound on monitor passes a probe stays open without resolution.
+const PROBE_AGE_CAP: u32 = 64;
+
+/// One retrospective false-positive analysis in flight (§5.5): after an
+/// avoidance, log the lock operations of the involved threads (plus the
+/// yielded thread after release) and look for lock inversions; none found ⇒
+/// the avoidance was likely a false positive.
+struct FpProbe {
+    sig: Arc<Signature>,
+    depth_used: u8,
+    /// Resolved `(runtime stack, member stack)` frame pairs, for the
+    /// "would it also have matched at depth d?" calibration query.
+    binding_frames: Vec<(CallStack, CallStack)>,
+    yielder: ThreadId,
+    contested: LockId,
+    participants: HashSet<ThreadId>,
+    /// Locks held by participants when the probe opened (from the RAG).
+    initial_holds: Vec<(ThreadId, LockId)>,
+    /// Logged operations: `(thread, lock, is_acquire)`.
+    ops: Vec<(ThreadId, LockId, bool)>,
+    yielder_acquired_target: bool,
+    age: u32,
+}
+
+impl FpProbe {
+    /// Lock-inversion analysis: replays the log and reports whether two
+    /// participants ordered some lock pair in opposite ways (the true-
+    /// positive witness).
+    fn has_inversion(&self) -> bool {
+        use std::collections::HashMap;
+        let mut held: HashMap<ThreadId, Vec<LockId>> = HashMap::new();
+        for &(t, l) in &self.initial_holds {
+            held.entry(t).or_default().push(l);
+        }
+        let mut orders: HashMap<ThreadId, HashSet<(LockId, LockId)>> = HashMap::new();
+        for &(t, l, acquire) in &self.ops {
+            let h = held.entry(t).or_default();
+            if acquire {
+                for &a in h.iter() {
+                    if a != l {
+                        orders.entry(t).or_default().insert((a, l));
+                    }
+                }
+                h.push(l);
+            } else if let Some(pos) = h.iter().rposition(|&x| x == l) {
+                h.remove(pos);
+            }
+        }
+        for (&t1, pairs) in &orders {
+            for &(a, b) in pairs {
+                for (&t2, pairs2) in &orders {
+                    if t1 != t2 && pairs2.contains(&(b, a)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether this same execution would also have triggered avoidance had
+    /// the matching depth been `d` — all instance bindings still match.
+    fn would_match_at(&self, d: u8) -> bool {
+        self.binding_frames
+            .iter()
+            .all(|(a, b)| suffix_matches(a, b, d as usize))
+    }
+}
+
+/// The monitor state machine.
+pub struct Monitor {
+    rag: Rag,
+    probes: Vec<FpProbe>,
+    config: Config,
+    history: Arc<History>,
+    frames: Arc<FrameTable>,
+    stacks: Arc<StackTable>,
+    queue: Arc<MpscQueue<Event>>,
+    stats: Arc<Stats>,
+    hooks: Arc<Hooks>,
+    /// Whether the history changed and must be persisted.
+    dirty: bool,
+    last_save_error: Option<HistoryError>,
+}
+
+impl Monitor {
+    /// Creates the monitor.
+    pub fn new(
+        config: Config,
+        history: Arc<History>,
+        frames: Arc<FrameTable>,
+        stacks: Arc<StackTable>,
+        queue: Arc<MpscQueue<Event>>,
+        stats: Arc<Stats>,
+        hooks: Arc<Hooks>,
+    ) -> Self {
+        Self {
+            rag: Rag::new(),
+            probes: Vec::new(),
+            config,
+            history,
+            frames,
+            stacks,
+            queue,
+            stats,
+            hooks,
+            dirty: false,
+            last_save_error: None,
+        }
+    }
+
+    /// Most recent failure to persist the history, if any.
+    pub fn last_save_error(&self) -> Option<&HistoryError> {
+        self.last_save_error.as_ref()
+    }
+
+    /// Read-only view of the monitor's RAG (for diagnostics/DOT export).
+    pub fn rag(&self) -> &Rag {
+        &self.rag
+    }
+
+    /// One monitor pass: drain events, update the RAG, detect cycles, save
+    /// signatures, break starvation, resolve probes. `waker` is invoked for
+    /// every thread whose yield the monitor breaks.
+    pub fn step(&mut self, core: &AvoidanceCore, waker: &dyn Fn(ThreadId)) {
+        Stats::bump(&self.stats.monitor_passes);
+        self.drain_events();
+        self.detect_deadlocks();
+        self.detect_starvation(core, waker);
+        self.resolve_probes();
+        if self.dirty {
+            self.dirty = false;
+            if self.history.path().is_some() {
+                if let Err(e) = self.history.save(&self.frames, &self.stacks) {
+                    self.last_save_error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn drain_events(&mut self) {
+        // Bound the drain so a hot producer cannot wedge the monitor.
+        const DRAIN_CAP: usize = 1 << 20;
+        let mut drained = 0_usize;
+        while drained < DRAIN_CAP {
+            let Some(event) = self.queue.pop() else { break };
+            drained += 1;
+            self.apply(event);
+        }
+        self.stats
+            .events_processed
+            .fetch_add(drained as u64, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn apply(&mut self, event: Event) {
+        match event {
+            Event::Request { t, l, stack } => self.rag.on_request(t, l, stack),
+            Event::Go { t, l, stack } => self.rag.on_go(t, l, stack),
+            Event::Yield { t, l, stack, info } => {
+                self.rag.on_yield(t, l, stack, info.causes.clone());
+                self.open_probe(t, l, &info);
+            }
+            Event::Acquired { t, l, stack } => {
+                self.rag.on_acquired(t, l, stack);
+                self.feed_probes(t, l, true);
+            }
+            Event::Release { t, l } => {
+                self.feed_probes(t, l, false);
+                self.rag.on_release(t, l);
+            }
+            Event::Cancel { t, l } => {
+                self.rag.on_cancel(t, l);
+                // A cancelled yielder will never acquire the contested lock;
+                // close its probes by aging them out immediately.
+                for p in &mut self.probes {
+                    if p.yielder == t && p.contested == l {
+                        p.age = PROBE_AGE_CAP;
+                    }
+                }
+            }
+            Event::ThreadExit { t } => self.rag.on_thread_exit(t),
+        }
+    }
+
+    fn open_probe(&mut self, yielder: ThreadId, contested: LockId, info: &YieldInfo) {
+        let Some(sig) = self.history.get(info.sig) else {
+            return;
+        };
+        let mut participants: HashSet<ThreadId> = info.causes.iter().map(|c| c.thread).collect();
+        participants.insert(yielder);
+        let initial_holds = self.initial_holds(&participants, &info.causes);
+        let binding_frames: Vec<(CallStack, CallStack)> = info
+            .bindings
+            .iter()
+            .map(|&(a, b)| (self.stacks.resolve(a), self.stacks.resolve(b)))
+            .collect();
+        // Figure 9 structural accounting: a yield is a (structural) true
+        // positive iff its bindings also match at the full program depth.
+        if let Some(d) = self.config.structural_fp_reference_depth {
+            let full = binding_frames
+                .iter()
+                .all(|(a, b)| suffix_matches(a, b, d as usize));
+            if full {
+                Stats::bump(&self.stats.structural_true_positives);
+            } else {
+                Stats::bump(&self.stats.structural_false_positives);
+            }
+        }
+        self.probes.push(FpProbe {
+            sig,
+            depth_used: info.depth_used,
+            binding_frames,
+            yielder,
+            contested,
+            participants,
+            initial_holds,
+            ops: Vec::new(),
+            yielder_acquired_target: false,
+            age: 0,
+        });
+    }
+
+    fn initial_holds(
+        &self,
+        participants: &HashSet<ThreadId>,
+        causes: &[YieldCause],
+    ) -> Vec<(ThreadId, LockId)> {
+        // The cause tuples name the locks that pin the yield; the RAG (even
+        // if slightly stale) supplies everything else the participants held
+        // at probe-open time — in particular the yielder's own holds, which
+        // are one side of any future inversion.
+        let mut holds: Vec<(ThreadId, LockId)> =
+            causes.iter().map(|c| (c.thread, c.lock)).collect();
+        for &t in participants {
+            for l in self.rag.held_locks(t) {
+                holds.push((t, l));
+            }
+        }
+        holds.sort_unstable_by_key(|&(t, l)| (t, l));
+        holds.dedup();
+        holds
+    }
+
+    fn feed_probes(&mut self, t: ThreadId, l: LockId, acquire: bool) {
+        for p in &mut self.probes {
+            if !p.participants.contains(&t) {
+                continue;
+            }
+            if p.ops.len() < PROBE_OP_CAP {
+                p.ops.push((t, l, acquire));
+            } else {
+                p.age = PROBE_AGE_CAP;
+            }
+            if t == p.yielder && l == p.contested {
+                if acquire {
+                    p.yielder_acquired_target = true;
+                } else if p.yielder_acquired_target {
+                    // Critical section completed: probe is decidable.
+                    p.age = PROBE_AGE_CAP;
+                }
+            }
+        }
+    }
+
+    fn detect_deadlocks(&mut self) {
+        let cycles = self.rag.find_deadlock_cycles();
+        for cycle in cycles {
+            Stats::bump(&self.stats.deadlocks_detected);
+            let sig = self.save_signature(CycleKind::Deadlock, cycle.labels.clone());
+            if let Some(hook) = &self.hooks.on_deadlock {
+                hook(&sig, &cycle.threads);
+            }
+        }
+    }
+
+    fn detect_starvation(&mut self, core: &AvoidanceCore, waker: &dyn Fn(ThreadId)) {
+        let cycles = self.rag.find_yield_cycles();
+        for cycle in cycles {
+            Stats::bump(&self.stats.starvations_detected);
+            let sig = self.save_signature(CycleKind::Starvation, cycle.labels.clone());
+            let threads: Vec<ThreadId> = cycle.threads.iter().map(|s| s.thread).collect();
+            if let Some(hook) = &self.hooks.on_starvation {
+                hook(&sig, &threads);
+            }
+            match self.config.immunity {
+                Immunity::Weak => {
+                    // Break the starvation: cancel the yield of the starved
+                    // thread holding the most locks (§3).
+                    if let Some(victim) = cycle
+                        .threads
+                        .iter()
+                        .filter(|s| s.yielding)
+                        .max_by_key(|s| s.holds)
+                    {
+                        if core.break_yield(victim.thread) {
+                            // Mirror the break in the monitor's RAG so the
+                            // starvation is not re-detected before the
+                            // thread's own Go event arrives.
+                            self.rag.on_cancel(victim.thread, LockId(u64::MAX));
+                            waker(victim.thread);
+                        }
+                    }
+                }
+                Immunity::Strong => {
+                    if let Some(hook) = &self.hooks.on_restart_required {
+                        hook();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Saves (or finds) the signature for a detected cycle and starts its
+    /// calibration when enabled.
+    fn save_signature(&mut self, kind: CycleKind, labels: Vec<StackId>) -> Arc<Signature> {
+        if let Some(sig) = self.history.add(kind, labels.clone(), self.config.default_depth) {
+            Stats::bump(&self.stats.signatures_added);
+            if let Some(cal_cfg) = &self.config.calibration {
+                let start_depth = sig.calibration().start(cal_cfg);
+                sig.set_depth(start_depth);
+            }
+            self.dirty = true;
+            self.history.touch();
+            sig
+        } else {
+            self.history
+                .find_by_stacks(&labels)
+                .expect("duplicate add implies the signature exists")
+        }
+    }
+
+    fn resolve_probes(&mut self) {
+        let mut due = Vec::new();
+        let mut keep = Vec::new();
+        for mut p in self.probes.drain(..) {
+            p.age += 1;
+            if p.age >= PROBE_AGE_CAP {
+                due.push(p);
+            } else {
+                keep.push(p);
+            }
+        }
+        self.probes = keep;
+        for p in due {
+            let was_fp = !p.has_inversion();
+            if was_fp {
+                Stats::bump(&self.stats.false_positives);
+            } else {
+                Stats::bump(&self.stats.true_positives);
+            }
+            if let Some(cal_cfg) = &self.config.calibration {
+                let update = {
+                    let mut cal = p.sig.calibration();
+                    cal.record_outcome(cal_cfg, p.depth_used, was_fp, |d| p.would_match_at(d))
+                };
+                match update {
+                    CalibrationUpdate::None => {}
+                    CalibrationUpdate::SetDepth(d) => {
+                        p.sig.set_depth(d);
+                        self.history.touch();
+                        self.dirty = true;
+                    }
+                    CalibrationUpdate::Finished { depth, fp_rate } => {
+                        p.sig.set_depth(depth);
+                        // §8: a recalibration concluding 100% false positives
+                        // marks the signature obsolete — discard it.
+                        let recalibrated = p.sig.calibration().completed_calibrations() >= 2;
+                        if fp_rate >= 1.0 && recalibrated {
+                            self.history.remove(p.sig.id);
+                        }
+                        self.history.touch();
+                        self.dirty = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restarts calibration for every signature — the §8 "after every
+    /// upgrade" rule, also exposed through the runtime API.
+    pub fn recalibrate_all(&mut self) {
+        let Some(cal_cfg) = &self.config.calibration else {
+            return;
+        };
+        for sig in self.history.snapshot().iter() {
+            let d = sig.calibration().start(cal_cfg);
+            sig.set_depth(d);
+        }
+        self.history.touch();
+        self.dirty = true;
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("rag", &self.rag)
+            .field("open_probes", &self.probes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,419 @@
+//! The Dimmunix runtime: wiring between application threads, the avoidance
+//! engine and the monitor.
+//!
+//! One [`Runtime`] corresponds to one instrumented program: it owns the
+//! frame/stack interners, the persistent [`History`], the
+//! [`AvoidanceCore`], the event queue and (optionally) a spawned monitor
+//! thread with period τ. Lock types ([`crate::sync::ImmunizedMutex`],
+//! [`crate::sync::ReentrantLock`], [`crate::raw::RawLock`]) hold a handle to
+//! their runtime and route every lock/unlock through its hooks.
+//!
+//! Threads register lazily the first time they touch an immunized lock; a
+//! thread-local guard deregisters them on thread exit. If registration
+//! fails (more than `max_threads` live threads) the thread simply runs
+//! unsupervised — its locks behave like plain mutexes.
+
+use crate::avoidance::AvoidanceCore;
+use crate::config::Config;
+use crate::monitor::{Hooks, Monitor};
+use crate::stats::{Stats, StatsSnapshot};
+use dimmunix_lockfree::MpscQueue;
+use dimmunix_rag::{LockId, ThreadId};
+use dimmunix_signature::{FrameTable, History, HistoryError, StackTable};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// Outcome of parking during a yield.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParkOutcome {
+    /// A wake arrived (lock conditions changed, or the monitor broke the
+    /// yield — check [`AvoidanceCore::take_broken`]).
+    Woken,
+    /// The max-yield-duration bound expired (§5.7's escape hatch).
+    TimedOut,
+}
+
+/// Per-registered-thread parking primitive (the paper's `yieldLock[T]`).
+struct Parker {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) config: Config,
+    pub(crate) frames: Arc<FrameTable>,
+    pub(crate) stacks: Arc<StackTable>,
+    pub(crate) history: Arc<History>,
+    pub(crate) core: AvoidanceCore,
+    pub(crate) stats: Arc<Stats>,
+    monitor: Mutex<Monitor>,
+    parkers: Box<[Parker]>,
+    next_lock: AtomicU64,
+    /// Set to stop a spawned monitor thread.
+    shutdown: Arc<AtomicBool>,
+    /// Signalled to wake a sleeping monitor thread promptly.
+    monitor_signal: Arc<(Mutex<bool>, Condvar)>,
+    monitor_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Unique id for thread-local registration bookkeeping.
+    runtime_id: usize,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cv) = &*self.monitor_signal;
+        let mut flag = lock.lock();
+        *flag = true;
+        cv.notify_all();
+        drop(flag);
+        // Persist the immune memory on the way out.
+        if self.history.path().is_some() {
+            let _ = self.history.save(&self.frames, &self.stacks);
+        }
+    }
+}
+
+static RUNTIME_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static REGISTRATIONS: RefCell<Vec<Registration>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A thread's registration with one runtime; deregisters on thread exit.
+struct Registration {
+    runtime_id: usize,
+    tid: ThreadId,
+    inner: Weak<Inner>,
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.core.unregister_thread(self.tid);
+        }
+    }
+}
+
+/// Handle to a Dimmunix runtime. Cheap to clone; the runtime lives as long
+/// as any handle (or any lock created from it) does.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+impl Runtime {
+    /// Builds a runtime: loads the history from `config.history_path` (if
+    /// set and present) but does **not** start a monitor thread — call
+    /// [`Runtime::spawn_monitor`] for the paper's asynchronous mode, or
+    /// drive [`Runtime::step_monitor`] manually for deterministic embedding.
+    pub fn new(config: Config) -> Result<Self, HistoryError> {
+        Self::with_hooks(config, Hooks::default())
+    }
+
+    /// Like [`Runtime::new`] with monitor callbacks installed.
+    pub fn with_hooks(config: Config, hooks: Hooks) -> Result<Self, HistoryError> {
+        let frames = Arc::new(FrameTable::new());
+        let stacks = Arc::new(StackTable::new());
+        let history = Arc::new(match &config.history_path {
+            Some(path) => History::open(path, &frames, &stacks)?,
+            None => History::new(),
+        });
+        let queue = Arc::new(MpscQueue::new());
+        let stats = Arc::new(Stats::new());
+        let core = AvoidanceCore::new(
+            config.clone(),
+            Arc::clone(&history),
+            Arc::clone(&stacks),
+            Arc::clone(&queue),
+            Arc::clone(&stats),
+        );
+        let monitor = Monitor::new(
+            config.clone(),
+            Arc::clone(&history),
+            Arc::clone(&frames),
+            Arc::clone(&stacks),
+            Arc::clone(&queue),
+            Arc::clone(&stats),
+            Arc::new(hooks),
+        );
+        let parkers = (0..config.max_threads).map(|_| Parker::default()).collect();
+        let inner = Arc::new(Inner {
+            config,
+            frames,
+            stacks,
+            history,
+            core,
+            stats,
+            monitor: Mutex::new(monitor),
+            parkers,
+            next_lock: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            monitor_signal: Arc::new((Mutex::new(false), Condvar::new())),
+            monitor_handle: Mutex::new(None),
+            runtime_id: RUNTIME_IDS.fetch_add(1, Ordering::Relaxed),
+        });
+        Ok(Self { inner })
+    }
+
+    /// Builds a runtime and spawns its monitor thread.
+    pub fn start(config: Config) -> Result<Self, HistoryError> {
+        let rt = Self::new(config)?;
+        rt.spawn_monitor();
+        Ok(rt)
+    }
+
+    /// Spawns the monitor thread (idempotent). It wakes every
+    /// `config.monitor_period` (τ) and exits when the runtime is dropped or
+    /// [`Runtime::shutdown`] is called.
+    pub fn spawn_monitor(&self) {
+        let mut handle = self.inner.monitor_handle.lock();
+        if handle.is_some() {
+            return;
+        }
+        let weak = Arc::downgrade(&self.inner);
+        let shutdown = Arc::clone(&self.inner.shutdown);
+        let signal = Arc::clone(&self.inner.monitor_signal);
+        let period = self.inner.config.monitor_period;
+        *handle = Some(
+            std::thread::Builder::new()
+                .name("dimmunix-monitor".into())
+                .spawn(move || loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Some(inner) = weak.upgrade() else { break };
+                    Self::step_inner(&inner);
+                    drop(inner);
+                    let (lock, cv) = &*signal;
+                    let mut flag = lock.lock();
+                    if !*flag {
+                        cv.wait_for(&mut flag, period);
+                    }
+                    *flag = false;
+                })
+                .expect("failed to spawn dimmunix-monitor thread"),
+        );
+    }
+
+    /// Stops and joins the monitor thread, persisting the history.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let (lock, cv) = &*self.inner.monitor_signal;
+            let mut flag = lock.lock();
+            *flag = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.inner.monitor_handle.lock().take() {
+            let _ = h.join();
+        }
+        // Final pass so nothing queued is lost, then persist.
+        self.step_monitor();
+        if self.inner.history.path().is_some() {
+            let _ = self
+                .inner
+                .history
+                .save(&self.inner.frames, &self.inner.stacks);
+        }
+    }
+
+    /// Runs one monitor pass synchronously (embedded mode).
+    pub fn step_monitor(&self) {
+        Self::step_inner(&self.inner);
+    }
+
+    fn step_inner(inner: &Arc<Inner>) {
+        let mut monitor = inner.monitor.lock();
+        let weak = Arc::downgrade(inner);
+        monitor.step(&inner.core, &move |t| {
+            if let Some(inner) = weak.upgrade() {
+                Runtime::wake_tid(&inner, t);
+            }
+        });
+    }
+
+    /// The calling OS thread's dense id in this runtime, registering it on
+    /// first use. `None` when `max_threads` registrations are live.
+    pub fn current_thread(&self) -> Option<ThreadId> {
+        let id = self.inner.runtime_id;
+        REGISTRATIONS.with(|regs| {
+            let mut regs = regs.borrow_mut();
+            if let Some(r) = regs.iter().find(|r| r.runtime_id == id) {
+                return Some(r.tid);
+            }
+            let tid = self.inner.core.register_thread();
+            match tid {
+                Some(tid) => {
+                    regs.push(Registration {
+                        runtime_id: id,
+                        tid,
+                        inner: Arc::downgrade(&self.inner),
+                    });
+                    Some(tid)
+                }
+                None => {
+                    Stats::bump(&self.inner.stats.unsupervised_threads);
+                    None
+                }
+            }
+        })
+    }
+
+    /// Allocates a fresh lock id.
+    pub fn new_lock_id(&self) -> LockId {
+        LockId(self.inner.next_lock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Current epoch of `t`'s parker; pass to [`Runtime::park_yield`] to
+    /// close the decide-then-park race.
+    pub(crate) fn park_epoch(&self, t: ThreadId) -> u64 {
+        *self.inner.parkers[t.0 as usize].epoch.lock()
+    }
+
+    /// Parks the calling thread (which must be `t`) until a wake arrives
+    /// (epoch moves past `epoch0`) or the max-yield bound expires.
+    pub(crate) fn park_yield(&self, t: ThreadId, epoch0: u64) -> ParkOutcome {
+        let parker = &self.inner.parkers[t.0 as usize];
+        let deadline = self
+            .inner
+            .config
+            .max_yield_duration
+            .map(|d| Instant::now() + d);
+        let mut epoch = parker.epoch.lock();
+        loop {
+            if *epoch != epoch0 {
+                return ParkOutcome::Woken;
+            }
+            match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return ParkOutcome::TimedOut;
+                    }
+                    if parker.cv.wait_until(&mut epoch, deadline).timed_out() {
+                        return if *epoch != epoch0 {
+                            ParkOutcome::Woken
+                        } else {
+                            ParkOutcome::TimedOut
+                        };
+                    }
+                }
+                None => parker.cv.wait(&mut epoch),
+            }
+        }
+    }
+
+    /// Wakes thread `t` if it is parked in a yield.
+    pub(crate) fn wake(&self, t: ThreadId) {
+        Self::wake_tid(&self.inner, t);
+    }
+
+    fn wake_tid(inner: &Inner, t: ThreadId) {
+        let idx = t.0 as usize;
+        if idx >= inner.parkers.len() {
+            return;
+        }
+        let parker = &inner.parkers[idx];
+        let mut epoch = parker.epoch.lock();
+        *epoch = epoch.wrapping_add(1);
+        parker.cv.notify_all();
+    }
+
+    /// The avoidance engine (expert/simulator API).
+    pub fn core(&self) -> &AvoidanceCore {
+        &self.inner.core
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    /// The persistent history.
+    pub fn history(&self) -> &Arc<History> {
+        &self.inner.history
+    }
+
+    /// The frame interner.
+    pub fn frame_table(&self) -> &Arc<FrameTable> {
+        &self.inner.frames
+    }
+
+    /// The stack interner.
+    pub fn stack_table(&self) -> &Arc<StackTable> {
+        &self.inner.stacks
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Raw counters (for hot-path use by lock types).
+    pub(crate) fn stats_ref(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Merges a signature file into the live history — §8's "patching
+    /// without restarting": the program gains immunity immediately. Returns
+    /// how many signatures were new.
+    pub fn vaccinate(&self, path: &Path) -> Result<usize, HistoryError> {
+        let added = self
+            .inner
+            .history
+            .merge_file(path, &self.inner.frames, &self.inner.stacks)?;
+        Ok(added)
+    }
+
+    /// Persists the history to its configured path.
+    pub fn save_history(&self) -> Result<(), HistoryError> {
+        self.inner
+            .history
+            .save(&self.inner.frames, &self.inner.stacks)
+    }
+
+    /// Restarts matching-depth calibration for every signature (run after an
+    /// upgrade, §8).
+    pub fn recalibrate_all(&self) {
+        self.inner.monitor.lock().recalibrate_all();
+    }
+
+    /// Graphviz DOT rendering of the monitor's current RAG.
+    pub fn rag_dot(&self) -> String {
+        dimmunix_rag::dot::to_dot(self.inner.monitor.lock().rag())
+    }
+
+    /// Approximate bytes of heap used by Dimmunix data structures (§7.4):
+    /// interners, avoidance state and the serialized history size.
+    pub fn memory_footprint(&self) -> usize {
+        self.inner.frames.approx_bytes()
+            + self.inner.stacks.approx_bytes()
+            + self.inner.core.approx_bytes()
+            + self
+                .inner
+                .history
+                .serialized_bytes(&self.inner.frames, &self.inner.stacks)
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("history_len", &self.inner.history.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

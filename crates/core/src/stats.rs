@@ -1,0 +1,164 @@
+//! Runtime counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters exposed by a runtime; all relaxed atomics, cheap to
+/// bump from the hot path.
+#[derive(Default, Debug)]
+pub struct Stats {
+    /// `request` hook invocations.
+    pub requests: AtomicU64,
+    /// GO decisions returned.
+    pub gos: AtomicU64,
+    /// YIELD decisions returned (avoidances performed).
+    pub yields: AtomicU64,
+    /// Locks actually acquired.
+    pub acquisitions: AtomicU64,
+    /// Locks released.
+    pub releases: AtomicU64,
+    /// Yields aborted by the max-yield-duration bound.
+    pub yield_aborts: AtomicU64,
+    /// Yields cancelled by the monitor to break starvation.
+    pub yields_broken: AtomicU64,
+    /// Deadlock cycles detected by the monitor.
+    pub deadlocks_detected: AtomicU64,
+    /// Yield cycles (induced starvation) detected by the monitor.
+    pub starvations_detected: AtomicU64,
+    /// New signatures added to the history.
+    pub signatures_added: AtomicU64,
+    /// Avoidances the retrospective analysis classified as false positives.
+    pub false_positives: AtomicU64,
+    /// Avoidances the retrospective analysis confirmed as true positives.
+    pub true_positives: AtomicU64,
+    /// Yields whose bindings did *not* match at the configured full depth
+    /// (Figure 9's structural false positives).
+    pub structural_false_positives: AtomicU64,
+    /// Yields whose bindings matched at the configured full depth.
+    pub structural_true_positives: AtomicU64,
+    /// Threads that could not be registered (slot exhaustion) and ran
+    /// unsupervised.
+    pub unsupervised_threads: AtomicU64,
+    /// Events drained by the monitor.
+    pub events_processed: AtomicU64,
+    /// Monitor wakeups.
+    pub monitor_passes: AtomicU64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience relaxed increment.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed read.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// A plain-data snapshot of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: Self::get(&self.requests),
+            gos: Self::get(&self.gos),
+            yields: Self::get(&self.yields),
+            acquisitions: Self::get(&self.acquisitions),
+            releases: Self::get(&self.releases),
+            yield_aborts: Self::get(&self.yield_aborts),
+            yields_broken: Self::get(&self.yields_broken),
+            deadlocks_detected: Self::get(&self.deadlocks_detected),
+            starvations_detected: Self::get(&self.starvations_detected),
+            signatures_added: Self::get(&self.signatures_added),
+            false_positives: Self::get(&self.false_positives),
+            true_positives: Self::get(&self.true_positives),
+            structural_false_positives: Self::get(&self.structural_false_positives),
+            structural_true_positives: Self::get(&self.structural_true_positives),
+            unsupervised_threads: Self::get(&self.unsupervised_threads),
+            events_processed: Self::get(&self.events_processed),
+            monitor_passes: Self::get(&self.monitor_passes),
+        }
+    }
+}
+
+/// Plain-data copy of [`Stats`] at one instant.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// `request` hook invocations.
+    pub requests: u64,
+    /// GO decisions returned.
+    pub gos: u64,
+    /// YIELD decisions returned.
+    pub yields: u64,
+    /// Locks actually acquired.
+    pub acquisitions: u64,
+    /// Locks released.
+    pub releases: u64,
+    /// Yields aborted by the max-yield bound.
+    pub yield_aborts: u64,
+    /// Yields broken by the monitor.
+    pub yields_broken: u64,
+    /// Deadlocks detected.
+    pub deadlocks_detected: u64,
+    /// Starvations detected.
+    pub starvations_detected: u64,
+    /// Signatures added.
+    pub signatures_added: u64,
+    /// False-positive avoidances.
+    pub false_positives: u64,
+    /// True-positive avoidances.
+    pub true_positives: u64,
+    /// Structural false positives (Figure 9 accounting).
+    pub structural_false_positives: u64,
+    /// Structural true positives (Figure 9 accounting).
+    pub structural_true_positives: u64,
+    /// Unsupervised threads.
+    pub unsupervised_threads: u64,
+    /// Events drained.
+    pub events_processed: u64,
+    /// Monitor wakeups.
+    pub monitor_passes: u64,
+}
+
+impl fmt::Debug for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} gos={} yields={} acq={} rel={} aborts={} broken={} \
+             deadlocks={} starvations={} sigs={} fp={} tp={}",
+            self.requests,
+            self.gos,
+            self.yields,
+            self.acquisitions,
+            self.releases,
+            self.yield_aborts,
+            self.yields_broken,
+            self.deadlocks_detected,
+            self.starvations_detected,
+            self.signatures_added,
+            self.false_positives,
+            self.true_positives,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = Stats::new();
+        Stats::bump(&s.requests);
+        Stats::bump(&s.requests);
+        Stats::bump(&s.yields);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.yields, 1);
+        assert_eq!(snap.gos, 0);
+    }
+}

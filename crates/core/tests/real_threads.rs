@@ -1,0 +1,392 @@
+//! End-to-end tests with real OS threads, real parking, and the spawned
+//! monitor: the immunized lock types must keep a deadlock-prone program
+//! live once the signature is known.
+
+use dimmunix_core::{frame, Config, Decision, Runtime};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn quiet_config() -> Config {
+    Config::default()
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dimmunix-core-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.dlk", std::process::id()))
+}
+
+/// Seeds the ABBA signature into a runtime by replaying the deadlock at the
+/// hook level (fast and deterministic), mimicking "the first occurrence".
+fn seed_abba_signature(rt: &Runtime) {
+    let t0 = rt.core().register_thread().unwrap();
+    let t1 = rt.core().register_thread().unwrap();
+    let a = rt.new_lock_id();
+    let b = rt.new_lock_id();
+    // The stacks the RAII path will produce: frame "update" + the lock call
+    // site inside `transfer` below. We synthesize equivalent 2-frame stacks
+    // with matching *suffixes* at depth 1 so the real run matches at the
+    // depth we configure.
+    let sa = rt.make_site(&[("update", "real_threads.rs", 1), ("<lock>", "seed.rs", 1)]);
+    let sb = rt.make_site(&[("update", "real_threads.rs", 2), ("<lock>", "seed.rs", 2)]);
+    rt.core().request(t0, a, sa.frames(), sa.stack());
+    rt.core().acquired(t0, a, sa.stack());
+    rt.core().request(t1, b, sb.frames(), sb.stack());
+    rt.core().acquired(t1, b, sb.stack());
+    rt.core().request(t0, b, sb.frames(), sb.stack());
+    rt.core().request(t1, a, sa.frames(), sa.stack());
+    rt.step_monitor();
+    assert_eq!(rt.history().len(), 1);
+    rt.core().release(t0, a);
+    rt.core().release(t1, b);
+    rt.core().cancel(t0, b);
+    rt.core().cancel(t1, a);
+    rt.step_monitor();
+}
+
+#[test]
+fn immunized_mutex_basic_mutual_exclusion() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let counter = Arc::new(rt.mutex(0_u64));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let c = Arc::clone(&counter);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..1000 {
+                *c.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*counter.lock(), 8000);
+    assert!(rt.stats().acquisitions >= 8000);
+}
+
+#[test]
+fn try_lock_fails_on_contention_and_cancels() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let m = Arc::new(rt.mutex(()));
+    let g = m.lock();
+    let m2 = Arc::clone(&m);
+    let other = std::thread::spawn(move || m2.try_lock().is_none());
+    assert!(other.join().unwrap(), "try_lock must fail while held");
+    drop(g);
+    assert!(m.try_lock().is_some());
+}
+
+#[test]
+fn try_lock_for_times_out_then_succeeds() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let m = Arc::new(rt.mutex(()));
+    let g = m.lock();
+    let m2 = Arc::clone(&m);
+    let other = std::thread::spawn(move || m2.try_lock_for(Duration::from_millis(50)).is_none());
+    assert!(other.join().unwrap());
+    drop(g);
+    assert!(m.try_lock_for(Duration::from_millis(50)).is_some());
+}
+
+#[test]
+fn reentrant_lock_nests() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let lock = rt.reentrant_lock();
+    let g1 = lock.enter();
+    let g2 = lock.enter();
+    let g3 = lock.enter();
+    assert_eq!(lock.nesting(), 3);
+    drop(g3);
+    drop(g2);
+    assert_eq!(lock.nesting(), 1);
+    drop(g1);
+    assert_eq!(lock.nesting(), 0);
+}
+
+#[test]
+fn reentrant_lock_excludes_other_threads() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let lock = Arc::new(rt.reentrant_lock());
+    let hits = Arc::new(AtomicUsize::new(0));
+    let g = lock.enter();
+    let l2 = Arc::clone(&lock);
+    let h2 = Arc::clone(&hits);
+    let handle = std::thread::spawn(move || {
+        let _g = l2.enter();
+        h2.fetch_add(1, Ordering::SeqCst);
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(hits.load(Ordering::SeqCst), 0, "other thread must block");
+    drop(g);
+    handle.join().unwrap();
+    assert_eq!(hits.load(Ordering::SeqCst), 1);
+}
+
+/// The paper's §4 scenario end-to-end with real threads and real stacks:
+/// the program *experiences* the ABBA deadlock once (a timed second
+/// acquisition keeps the test from hanging while the monitor captures the
+/// cycle), and from then on the deadlock-prone interleaving completes
+/// because the second thread yields at its first acquisition.
+#[test]
+fn abba_learns_live_then_avoids_with_yield() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let a = Arc::new(rt.mutex(0_u32));
+    let b = Arc::new(rt.mutex(0_u32));
+
+    /// Locks `first` then `second` under a "transfer" frame — the paper's
+    /// `update(x, y)`. The second acquisition is timed so an actual
+    /// deadlock resolves itself after capture. Returns whether both locks
+    /// were obtained.
+    fn transfer(
+        first: &dimmunix_core::ImmunizedMutex<u32>,
+        second: &dimmunix_core::ImmunizedMutex<u32>,
+        hold: Duration,
+    ) -> bool {
+        frame!("transfer");
+        let g1 = first.lock();
+        std::thread::sleep(hold);
+        let got = second.try_lock_for(Duration::from_millis(700)).is_some();
+        drop(g1);
+        got
+    }
+
+    let run_pair = |hold: Duration, stagger: Duration| {
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for swap in [false, true] {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            let done = Arc::clone(&done);
+            let delay = if swap { stagger } else { Duration::ZERO };
+            handles.push(std::thread::spawn(move || {
+                std::thread::sleep(delay);
+                let full = if swap {
+                    transfer(&b, &a, hold)
+                } else {
+                    transfer(&a, &b, hold)
+                };
+                if full {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        // Drive the monitor while the threads run.
+        for _ in 0..400 {
+            rt.step_monitor();
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.load(Ordering::SeqCst)
+    };
+
+    // Occurrence run: both threads reach the both-hold window (long hold,
+    // short stagger) — the deadlock manifests and is captured; the timed
+    // locks then fail and unwind.
+    let full = run_pair(Duration::from_millis(200), Duration::from_millis(30));
+    assert!(full < 2, "the first run must hit the deadlock window");
+    assert!(
+        rt.stats().deadlocks_detected >= 1,
+        "monitor captured the cycle: {:?}",
+        rt.stats()
+    );
+    assert_eq!(rt.history().len(), 1);
+
+    // Immunized run: same timing, same code — now the staggered thread
+    // yields at its first acquisition and both transfers complete.
+    let yields_before = rt.stats().yields;
+    let full = run_pair(Duration::from_millis(200), Duration::from_millis(30));
+    assert_eq!(full, 2, "both transfers must complete: {:?}", rt.stats());
+    assert!(
+        rt.stats().yields > yields_before,
+        "avoidance must have steered the schedule: {:?}",
+        rt.stats()
+    );
+}
+
+#[test]
+fn yield_timeout_aborts_and_can_disable_signature() {
+    // A signature matching the *only* path through a function would starve
+    // it; the max-yield bound must release the thread (§5.7).
+    let cfg = Config {
+        max_yield_duration: Some(Duration::from_millis(30)),
+        abort_disable_threshold: Some(1),
+        ..quiet_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    let t0 = rt.core().register_thread().unwrap();
+    let site_sa = rt.make_site(&[("m", "x.rs", 1), ("u", "x.rs", 3)]);
+    let site_sb = rt.make_site(&[("m", "x.rs", 2), ("u", "x.rs", 3)]);
+    // Signature {SA, SB}.
+    rt.history()
+        .add(
+            dimmunix_core::CycleKind::Deadlock,
+            vec![site_sa.stack(), site_sb.stack()],
+            4,
+        )
+        .unwrap();
+    rt.history().touch();
+
+    // T0 holds A with SA and never releases.
+    let a = rt.new_lock_id();
+    rt.core().request(t0, a, site_sa.frames(), site_sa.stack());
+    rt.core().acquired(t0, a, site_sa.stack());
+
+    // A real thread now locks a RawLock with SB: it must yield, time out,
+    // abort, and proceed.
+    let lock_b = Arc::new(rt.raw_lock());
+    let rt2 = rt.clone();
+    let sb = site_sb.clone();
+    let lb = Arc::clone(&lock_b);
+    let h = std::thread::spawn(move || {
+        lb.lock(&sb);
+        lb.unlock();
+    });
+    h.join().unwrap();
+    let stats = rt.stats();
+    assert!(stats.yields >= 1, "{stats:?}");
+    assert_eq!(stats.yield_aborts, 1, "{stats:?}");
+    // Threshold 1 ⇒ the signature is now disabled.
+    assert!(rt2.history().snapshot()[0].is_disabled());
+}
+
+#[test]
+fn history_persists_across_runtimes() {
+    let path = tmp_path("persist");
+    std::fs::remove_file(&path).ok();
+    {
+        let cfg = Config {
+            history_path: Some(path.clone()),
+            ..quiet_config()
+        };
+        let rt = Runtime::new(cfg).unwrap();
+        seed_abba_signature(&rt);
+        rt.save_history().unwrap();
+    }
+    // Second "execution" of the program.
+    let cfg = Config {
+        history_path: Some(path.clone()),
+        ..quiet_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    assert_eq!(rt.history().len(), 1, "immune memory survived restart");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn vaccination_grants_immunity_without_encountering_deadlock() {
+    // Vendor machine: experiences the deadlock, ships the signature file.
+    let vaccine = tmp_path("vaccine");
+    std::fs::remove_file(&vaccine).ok();
+    {
+        let cfg = Config {
+            history_path: Some(vaccine.clone()),
+            ..quiet_config()
+        };
+        let rt = Runtime::new(cfg).unwrap();
+        seed_abba_signature(&rt);
+        rt.save_history().unwrap();
+    }
+    // User machine: never deadlocked, gets vaccinated at runtime.
+    let rt = Runtime::new(quiet_config()).unwrap();
+    assert!(rt.history().is_empty());
+    let added = rt.vaccinate(&vaccine).unwrap();
+    assert_eq!(added, 1);
+    assert_eq!(rt.history().len(), 1);
+
+    // The vaccinated pattern is now avoided: replay the conflict.
+    let t0 = rt.core().register_thread().unwrap();
+    let t1 = rt.core().register_thread().unwrap();
+    let a = rt.new_lock_id();
+    let b = rt.new_lock_id();
+    let sa = rt.make_site(&[("update", "real_threads.rs", 1), ("<lock>", "seed.rs", 1)]);
+    let sb = rt.make_site(&[("update", "real_threads.rs", 2), ("<lock>", "seed.rs", 2)]);
+    rt.core().request(t1, b, sb.frames(), sb.stack());
+    rt.core().acquired(t1, b, sb.stack());
+    let d = rt.core().request(t0, a, sa.frames(), sa.stack());
+    assert!(matches!(d, Decision::Yield { .. }), "got {d:?}");
+    std::fs::remove_file(&vaccine).ok();
+}
+
+#[test]
+fn spawned_monitor_detects_in_background() {
+    let rt = Runtime::start(Config {
+        monitor_period: Duration::from_millis(10),
+        ..quiet_config()
+    })
+    .unwrap();
+    let t0 = rt.core().register_thread().unwrap();
+    let t1 = rt.core().register_thread().unwrap();
+    let a = rt.new_lock_id();
+    let b = rt.new_lock_id();
+    let sa = rt.make_site(&[("m", "x.rs", 1), ("u", "x.rs", 3)]);
+    let sb = rt.make_site(&[("m", "x.rs", 2), ("u", "x.rs", 3)]);
+    rt.core().request(t0, a, sa.frames(), sa.stack());
+    rt.core().acquired(t0, a, sa.stack());
+    rt.core().request(t1, b, sb.frames(), sb.stack());
+    rt.core().acquired(t1, b, sb.stack());
+    rt.core().request(t0, b, sb.frames(), sb.stack());
+    rt.core().request(t1, a, sa.frames(), sa.stack());
+    // Wait for the background monitor to find it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while rt.history().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(rt.history().len(), 1, "background monitor found the cycle");
+    rt.shutdown();
+}
+
+#[test]
+fn unsupervised_threads_fall_back_to_plain_locking() {
+    let cfg = Config {
+        max_threads: 1,
+        ..quiet_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    let m = Arc::new(rt.mutex(0));
+    // First thread takes the only slot and stays alive behind a barrier
+    // (thread exit would release the slot back).
+    let gate = Arc::new(Barrier::new(2));
+    let m1 = Arc::clone(&m);
+    let g1 = Arc::clone(&gate);
+    let h = std::thread::spawn(move || {
+        *m1.lock() += 1;
+        g1.wait();
+    });
+    // Wait until the slot is definitely taken.
+    while rt.stats().acquisitions == 0 {
+        std::thread::yield_now();
+    }
+    // The main thread cannot register but locking still works.
+    *m.lock() += 1;
+    assert_eq!(*m.lock(), 2);
+    assert!(rt.stats().unsupervised_threads >= 1);
+    gate.wait();
+    h.join().unwrap();
+}
+
+#[test]
+fn memory_footprint_reports_nonzero_after_use() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    seed_abba_signature(&rt);
+    let bytes = rt.memory_footprint();
+    assert!(bytes > 0);
+}
+
+#[test]
+fn rag_dot_export_renders() {
+    let rt = Runtime::new(quiet_config()).unwrap();
+    let t0 = rt.core().register_thread().unwrap();
+    let site = rt.make_site(&[("w", "x.rs", 1)]);
+    let l = rt.new_lock_id();
+    rt.core().request(t0, l, site.frames(), site.stack());
+    rt.core().acquired(t0, l, site.stack());
+    rt.step_monitor();
+    let dot = rt.rag_dot();
+    assert!(dot.contains("digraph rag"));
+    assert!(dot.contains("hold"));
+}

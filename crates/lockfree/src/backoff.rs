@@ -1,0 +1,122 @@
+//! Exponential backoff for contended spin loops.
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Number of doubling steps spent busy-spinning before yielding the CPU.
+const SPIN_LIMIT: u32 = 6;
+/// Number of doubling steps after which [`Backoff::is_completed`] reports
+/// that the caller should block instead of spinning.
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, in the style of
+/// `crossbeam_utils::Backoff`.
+///
+/// Start with short bursts of [`core::hint::spin_loop`], then escalate to
+/// [`std::thread::yield_now`], and finally advise the caller (via
+/// [`Backoff::is_completed`]) to park on a real blocking primitive.
+///
+/// # Examples
+///
+/// ```
+/// use dimmunix_lockfree::Backoff;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let ready = AtomicBool::new(true);
+/// let backoff = Backoff::new();
+/// while !ready.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: core::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff counter in its initial (most eager) state.
+    pub const fn new() -> Self {
+        Self {
+            step: core::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets the counter to the initial state.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off in a lock-free loop that will retry an atomic operation.
+    ///
+    /// Only ever busy-spins; never yields to the OS scheduler. Use this when
+    /// the awaited condition is produced by another CPU within a bounded
+    /// number of instructions (e.g. a pending `next`-pointer link in the MPSC
+    /// queue).
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..1_u32 << step {
+            core::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+        compiler_fence(Ordering::SeqCst);
+    }
+
+    /// Backs off in a blocking loop: spins first, then yields the thread.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+    }
+
+    /// Returns `true` once backoff has escalated past yielding, meaning the
+    /// caller should park on a real blocking primitive instead of spinning.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_completed() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..64 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let b = Backoff::new();
+        for _ in 0..64 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn pure_spin_never_completes() {
+        let b = Backoff::new();
+        for _ in 0..1_000 {
+            b.spin();
+        }
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,36 @@
+//! Lock-free substrate used by the Dimmunix runtime.
+//!
+//! The Dimmunix paper (OSDI'08, §5.6) requires two pieces of lock-free
+//! machinery so that the avoidance instrumentation never synchronizes through
+//! the very locks it is supervising:
+//!
+//! * an **unbounded multi-producer / single-consumer event queue** connecting
+//!   the per-thread avoidance code (producers) to the asynchronous monitor
+//!   thread (the single consumer) — implemented in [`mpsc`] as a Vyukov-style
+//!   linked queue;
+//! * a **generalization of Peterson's mutual-exclusion algorithm to n
+//!   threads** (the *filter lock*), used to protect the shared `Allowed` sets
+//!   consulted by the `request` and `release` hooks — implemented in
+//!   [`peterson`].
+//!
+//! The crate also provides the small utilities those algorithms need:
+//! exponential [`backoff::Backoff`] for contended spin loops and
+//! [`pad::CachePadded`] to keep hot atomics on separate cache lines.
+//!
+//! Everything here is `std`-only and dependency-free; `unsafe` is confined to
+//! the queue internals and documented with `SAFETY` comments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod mpsc;
+pub mod pad;
+pub mod peterson;
+pub mod tournament;
+
+pub use backoff::Backoff;
+pub use mpsc::MpscQueue;
+pub use pad::CachePadded;
+pub use peterson::{FilterLock, FilterLockGuard, SlotAllocator};
+pub use tournament::{TournamentGuard, TournamentLock};

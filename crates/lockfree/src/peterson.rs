@@ -1,0 +1,324 @@
+//! Peterson's mutual-exclusion algorithm generalized to *n* threads.
+//!
+//! Dimmunix must protect its shared `Allowed` sets inside the `request` and
+//! `release` hooks **without** taking an ordinary mutex: those hooks run on
+//! the application's lock/unlock path, and using an OS lock there would add a
+//! second, unsupervised synchronization layer. The paper (§5.6) therefore
+//! uses "a variation of Peterson's algorithm for mutual exclusion generalized
+//! to n threads" — the classic *filter lock* (Peterson's two-thread tournament
+//! collapsed into n−1 levels), which needs only loads and stores.
+//!
+//! Each participating thread must first claim a *slot* from a
+//! [`SlotAllocator`]; slots bound the number of concurrent participants and
+//! index the `level`/`victim` arrays.
+
+use crate::backoff::Backoff;
+use crate::pad::CachePadded;
+use std::fmt;
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+
+/// A filter lock: starvation-free mutual exclusion for up to `n` threads
+/// using only atomic loads and stores (no CAS, no OS futex).
+///
+/// # Algorithm
+///
+/// There are `n − 1` levels. To acquire, the thread at slot `i` climbs levels
+/// `1..n`: at each level it publishes `level[i] = l`, volunteers as victim
+/// `victim[l] = i`, and spins until either no other thread sits at level ≥ l
+/// or someone else has become the victim of level `l`. At most `n − l`
+/// threads pass level `l`, so exactly one reaches level `n − 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dimmunix_lockfree::{FilterLock, SlotAllocator};
+/// use std::sync::Arc;
+///
+/// let lock = Arc::new(FilterLock::new(4));
+/// let slots = Arc::new(SlotAllocator::new(4));
+/// let slot = slots.acquire().unwrap();
+/// {
+///     let _guard = lock.lock(slot);
+///     // critical section
+/// }
+/// slots.release(slot);
+/// ```
+pub struct FilterLock {
+    /// `level[i]` = highest level thread at slot `i` has announced (0 = not
+    /// competing). `AtomicIsize` so "not competing" is 0 and levels start
+    /// at 1, as in the textbook presentation.
+    level: Box<[CachePadded<AtomicIsize>]>,
+    /// `victim[l]` = slot of the most recent thread to volunteer at level `l`.
+    victim: Box<[CachePadded<AtomicUsize>]>,
+    n: usize,
+}
+
+impl FilterLock {
+    /// Creates a filter lock for at most `n ≥ 1` participating slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "filter lock needs at least one slot");
+        Self {
+            level: (0..n)
+                .map(|_| CachePadded::new(AtomicIsize::new(0)))
+                .collect(),
+            victim: (0..n)
+                .map(|_| CachePadded::new(AtomicUsize::new(usize::MAX)))
+                .collect(),
+            n,
+        }
+    }
+
+    /// Number of slots this lock supports.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Acquires the lock for the thread occupying `slot`, returning a guard
+    /// that releases on drop.
+    ///
+    /// Distinct concurrent callers must use distinct slots in `0..capacity()`
+    /// (claim them via [`SlotAllocator`]); the same slot must not be used by
+    /// two threads at once, and the lock is not reentrant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= capacity()`.
+    pub fn lock(&self, slot: usize) -> FilterLockGuard<'_> {
+        assert!(slot < self.n, "slot {slot} out of range 0..{}", self.n);
+        // SeqCst throughout: Peterson-style algorithms are correct only under
+        // sequential consistency; the store of `level[i]`/`victim[l]` must be
+        // globally ordered against other threads' loads.
+        for l in 1..self.n as isize {
+            self.level[slot].store(l, Ordering::SeqCst);
+            self.victim[l as usize].store(slot, Ordering::SeqCst);
+            let backoff = Backoff::new();
+            loop {
+                let victim_is_me = self.victim[l as usize].load(Ordering::SeqCst) == slot;
+                if !victim_is_me {
+                    break;
+                }
+                let exists_higher = (0..self.n)
+                    .any(|k| k != slot && self.level[k].load(Ordering::SeqCst) >= l);
+                if !exists_higher {
+                    break;
+                }
+                backoff.snooze();
+            }
+        }
+        FilterLockGuard { lock: self, slot }
+    }
+
+    /// Releases the lock held by `slot`. Called by the guard's `Drop`.
+    fn unlock(&self, slot: usize) {
+        self.level[slot].store(0, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for FilterLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterLock").field("n", &self.n).finish()
+    }
+}
+
+/// RAII guard for [`FilterLock`]; releases the critical section on drop.
+#[derive(Debug)]
+pub struct FilterLockGuard<'a> {
+    lock: &'a FilterLock,
+    slot: usize,
+}
+
+impl Drop for FilterLockGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock(self.slot);
+    }
+}
+
+/// Lock-free allocator of small integer slots (for [`FilterLock`]
+/// participants and Dimmunix thread ids).
+///
+/// Implemented as a bitmap of `AtomicU64` words manipulated with
+/// compare-and-swap; `acquire` scans for a clear bit and sets it, `release`
+/// clears it. Both are lock-free.
+pub struct SlotAllocator {
+    words: Box<[AtomicU64]>,
+    capacity: usize,
+}
+
+impl SlotAllocator {
+    /// Creates an allocator managing slots `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        let nwords = capacity.div_ceil(64);
+        Self {
+            words: (0..nwords).map(|_| AtomicU64::new(0)).collect(),
+            capacity,
+        }
+    }
+
+    /// Total number of slots managed.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Claims a free slot, or returns `None` if all are taken.
+    pub fn acquire(&self) -> Option<usize> {
+        for (w, word) in self.words.iter().enumerate() {
+            let mut current = word.load(Ordering::Relaxed);
+            loop {
+                let free = (!current).trailing_zeros() as usize;
+                if free >= 64 {
+                    break; // Word full; try the next one.
+                }
+                let slot = w * 64 + free;
+                if slot >= self.capacity {
+                    return None; // Bits past capacity are never usable.
+                }
+                let bit = 1_u64 << free;
+                match word.compare_exchange_weak(
+                    current,
+                    current | bit,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return Some(slot),
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `slot` to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or was not currently allocated
+    /// (double free).
+    pub fn release(&self, slot: usize) {
+        assert!(slot < self.capacity, "slot {slot} out of range");
+        let bit = 1_u64 << (slot % 64);
+        let prev = self.words[slot / 64].fetch_and(!bit, Ordering::AcqRel);
+        assert!(prev & bit != 0, "slot {slot} was not allocated");
+    }
+
+    /// Number of slots currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for SlotAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotAllocator")
+            .field("capacity", &self.capacity)
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_lock_unlock() {
+        let lock = FilterLock::new(1);
+        let g = lock.lock(0);
+        drop(g);
+        let _g2 = lock.lock(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slot_panics() {
+        let lock = FilterLock::new(2);
+        let _ = lock.lock(2);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 2_000;
+        let lock = Arc::new(FilterLock::new(THREADS));
+        // A non-atomic counter protected solely by the filter lock; data
+        // races would corrupt the total (and be caught by the final assert).
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let in_cs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|slot| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let in_cs = Arc::clone(&in_cs);
+                std::thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let _g = lock.lock(slot);
+                        assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        in_cs.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), THREADS * ITERS);
+    }
+
+    #[test]
+    fn slot_allocator_exhaustion_and_reuse() {
+        let a = SlotAllocator::new(3);
+        let s0 = a.acquire().unwrap();
+        let s1 = a.acquire().unwrap();
+        let s2 = a.acquire().unwrap();
+        assert_eq!(a.acquire(), None);
+        assert_eq!(a.allocated(), 3);
+        a.release(s1);
+        assert_eq!(a.acquire(), Some(s1));
+        assert_ne!(s0, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not allocated")]
+    fn slot_double_free_panics() {
+        let a = SlotAllocator::new(4);
+        let s = a.acquire().unwrap();
+        a.release(s);
+        a.release(s);
+    }
+
+    #[test]
+    fn slot_allocator_concurrent_uniqueness() {
+        const THREADS: usize = 16;
+        let a = Arc::new(SlotAllocator::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || a.acquire().unwrap())
+            })
+            .collect();
+        let mut slots: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), THREADS, "duplicate slots handed out");
+    }
+
+    #[test]
+    fn slot_allocator_capacity_not_word_aligned() {
+        let a = SlotAllocator::new(70);
+        let mut got = Vec::new();
+        while let Some(s) = a.acquire() {
+            got.push(s);
+        }
+        assert_eq!(got.len(), 70);
+        assert!(got.iter().all(|&s| s < 70));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property and stress tests for the lock-free substrate.
+
+use dimmunix_lockfree::{MpscQueue, SlotAllocator, TournamentLock};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+proptest! {
+    /// Single-threaded push/pop interleavings behave exactly like VecDeque.
+    #[test]
+    fn mpsc_matches_fifo_model(ops in prop::collection::vec(any::<Option<u16>>(), 0..200)) {
+        let q = MpscQueue::new();
+        let mut model = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.push(v);
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        // Drain the remainder in order.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(q.pop(), Some(expect));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+
+    /// The slot allocator never double-allocates and respects capacity.
+    #[test]
+    fn slot_allocator_matches_set_model(
+        capacity in 1_usize..100,
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let a = SlotAllocator::new(capacity);
+        let mut live: Vec<usize> = Vec::new();
+        for acquire in ops {
+            if acquire {
+                match a.acquire() {
+                    Some(slot) => {
+                        prop_assert!(slot < capacity);
+                        prop_assert!(!live.contains(&slot), "double allocation of {slot}");
+                        live.push(slot);
+                    }
+                    None => prop_assert_eq!(live.len(), capacity),
+                }
+            } else if let Some(slot) = live.pop() {
+                a.release(slot);
+            }
+            prop_assert_eq!(a.allocated(), live.len());
+        }
+    }
+}
+
+/// Cross-thread stress: producers + the consumer agree on the exact
+/// multiset of messages (no loss, no duplication, per-producer order).
+#[test]
+fn mpsc_stress_no_loss_no_dup() {
+    const PRODUCERS: u64 = 6;
+    const PER: u64 = 20_000;
+    let q = Arc::new(MpscQueue::new());
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.push(p * PER + i);
+                }
+            })
+        })
+        .collect();
+    let mut seen = vec![0_u64; (PRODUCERS * PER) as usize];
+    let mut last = vec![-1_i64; PRODUCERS as usize];
+    let mut count = 0;
+    while count < PRODUCERS * PER {
+        if let Some(v) = q.pop() {
+            seen[v as usize] += 1;
+            let p = (v / PER) as usize;
+            let i = (v % PER) as i64;
+            assert!(i > last[p], "per-producer order violated");
+            last[p] = i;
+            count += 1;
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(seen.iter().all(|&c| c == 1), "loss or duplication detected");
+}
+
+/// The tournament lock protects a non-atomic counter at full contention
+/// with every slot occupied.
+#[test]
+fn tournament_full_occupancy_stress() {
+    const THREADS: usize = 16;
+    const ITERS: usize = 3_000;
+    let lock = Arc::new(TournamentLock::new(THREADS));
+    let value = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|slot| {
+            let lock = Arc::clone(&lock);
+            let value = Arc::clone(&value);
+            std::thread::spawn(move || {
+                for _ in 0..ITERS {
+                    let _g = lock.lock(slot);
+                    // Unprotected read-modify-write: only safe under mutual
+                    // exclusion.
+                    let v = value.load(std::sync::atomic::Ordering::Relaxed);
+                    value.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        value.load(std::sync::atomic::Ordering::SeqCst),
+        THREADS * ITERS
+    );
+}

@@ -1,0 +1,697 @@
+//! The persistent deadlock history.
+//!
+//! The history is the program's acquired immune memory: every signature ever
+//! observed, persisted across restarts (§5.4). It is loaded at startup,
+//! shared read-only with all application threads, and mutated only by the
+//! monitor thread. Duplicate signatures are disallowed, so the history
+//! cannot grow beyond the (finite) set of distinct stack multisets (§5.3).
+//!
+//! # On-disk format
+//!
+//! A line-oriented text format, ~200–1000 bytes per signature as in the
+//! paper (§7.4):
+//!
+//! ```text
+//! # dimmunix-history v1
+//! signature kind=deadlock depth=4 disabled=0 avoided=12 aborts=0
+//! stack 2
+//! frame main|src/main.rs|10
+//! frame update|src/main.rs|3
+//! stack 2
+//! frame main|src/main.rs|11
+//! frame update|src/main.rs|3
+//! end
+//! ```
+//!
+//! `|` and `\` inside function/file names are backslash-escaped. The format
+//! is deliberately diff-able and hand-editable: the paper's §8 envisions
+//! vendors shipping signature files to users as "vaccines", and users
+//! deleting or disabling individual signatures.
+
+use crate::frame::FrameTable;
+use crate::signature::{CycleKind, SigId, Signature};
+use crate::stack::{StackId, StackTable};
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic first line of a history file.
+const HEADER: &str = "# dimmunix-history v1";
+
+/// Errors produced while loading or saving a history file.
+#[derive(Debug)]
+pub enum HistoryError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed file content.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Io(e) => write!(f, "history I/O error: {e}"),
+            HistoryError::Parse { line, msg } => {
+                write!(f, "history parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<io::Error> for HistoryError {
+    fn from(e: io::Error) -> Self {
+        HistoryError::Io(e)
+    }
+}
+
+/// The persistent, duplicate-free collection of signatures.
+///
+/// Reads are lock-free for practical purposes: [`History::snapshot`] returns
+/// an `Arc` to an immutable signature list that the avoidance hot path can
+/// cache and iterate without touching the `RwLock` again until the
+/// generation counter moves.
+pub struct History {
+    /// Copy-on-write signature list: replaced wholesale on every mutation.
+    sigs: RwLock<Arc<Vec<Arc<Signature>>>>,
+    /// Bumped on every change that invalidates cached snapshots/indexes
+    /// (membership changes *and* matching-depth changes).
+    generation: AtomicU64,
+    /// Monotonic id source for new signatures.
+    next_id: AtomicU64,
+    /// Where [`History::save`] writes; set by [`History::open`].
+    path: Mutex<Option<PathBuf>>,
+}
+
+impl History {
+    /// Creates an empty, unbacked history.
+    pub fn new() -> Self {
+        Self {
+            sigs: RwLock::new(Arc::new(Vec::new())),
+            generation: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            path: Mutex::new(None),
+        }
+    }
+
+    /// Opens the history backed by `path`: loads it if the file exists,
+    /// otherwise starts empty. Subsequent [`History::save`] calls write back
+    /// to the same file.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        frames: &FrameTable,
+        stacks: &StackTable,
+    ) -> Result<Self, HistoryError> {
+        let path = path.into();
+        let h = Self::new();
+        if path.exists() {
+            h.merge_file(&path, frames, stacks)?;
+        }
+        *h.path.lock() = Some(path);
+        Ok(h)
+    }
+
+    /// The file this history saves to, if any.
+    pub fn path(&self) -> Option<PathBuf> {
+        self.path.lock().clone()
+    }
+
+    /// Sets (or clears) the backing file without reading it.
+    pub fn set_path(&self, path: Option<PathBuf>) {
+        *self.path.lock() = path;
+    }
+
+    /// Adds a signature for the given stack multiset unless an identical one
+    /// already exists ("duplicate signatures are disallowed", §5.3).
+    ///
+    /// Returns the new signature, or `None` if it was a duplicate.
+    pub fn add(
+        &self,
+        kind: CycleKind,
+        mut stack_ids: Vec<StackId>,
+        depth: u8,
+    ) -> Option<Arc<Signature>> {
+        stack_ids.sort_unstable();
+        let mut guard = self.sigs.write();
+        if guard.iter().any(|s| s.same_stacks(&stack_ids)) {
+            return None;
+        }
+        let id = SigId(
+            u32::try_from(self.next_id.fetch_add(1, Ordering::Relaxed))
+                .expect("more than u32::MAX signatures"),
+        );
+        let sig = Arc::new(Signature::new(id, kind, stack_ids, depth));
+        let mut new_list = Vec::with_capacity(guard.len() + 1);
+        new_list.extend(guard.iter().cloned());
+        new_list.push(Arc::clone(&sig));
+        *guard = Arc::new(new_list);
+        drop(guard);
+        self.bump();
+        Some(sig)
+    }
+
+    /// Removes a signature (e.g. one recalibration found 100% obsolete, §8).
+    /// Returns whether it was present.
+    pub fn remove(&self, id: SigId) -> bool {
+        let mut guard = self.sigs.write();
+        if !guard.iter().any(|s| s.id == id) {
+            return false;
+        }
+        let new_list: Vec<_> = guard.iter().filter(|s| s.id != id).cloned().collect();
+        *guard = Arc::new(new_list);
+        drop(guard);
+        self.bump();
+        true
+    }
+
+    /// Returns the signature whose stack multiset equals `stack_ids`.
+    pub fn find_by_stacks(&self, stack_ids: &[StackId]) -> Option<Arc<Signature>> {
+        let mut sorted = stack_ids.to_vec();
+        sorted.sort_unstable();
+        self.sigs
+            .read()
+            .iter()
+            .find(|s| s.same_stacks(&sorted))
+            .cloned()
+    }
+
+    /// Returns the signature with the given id.
+    pub fn get(&self, id: SigId) -> Option<Arc<Signature>> {
+        self.sigs.read().iter().find(|s| s.id == id).cloned()
+    }
+
+    /// Cheap immutable snapshot of the current signature list.
+    pub fn snapshot(&self) -> Arc<Vec<Arc<Signature>>> {
+        Arc::clone(&self.sigs.read())
+    }
+
+    /// Number of signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.read().len()
+    }
+
+    /// Whether the history holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonic counter bumped on every change that could invalidate cached
+    /// snapshots or match indexes.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Explicitly invalidates caches (call after changing a signature's
+    /// matching depth, which lives outside the list structure).
+    pub fn touch(&self) {
+        self.bump();
+    }
+
+    fn bump(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Serializes the history to its backing file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no backing path was configured or on I/O error.
+    pub fn save(&self, frames: &FrameTable, stacks: &StackTable) -> Result<(), HistoryError> {
+        let path = self.path().ok_or_else(|| {
+            HistoryError::Io(io::Error::new(
+                io::ErrorKind::NotFound,
+                "history has no backing file",
+            ))
+        })?;
+        self.save_to(&path, frames, stacks)
+    }
+
+    /// Serializes the history to an arbitrary path (atomic via temp + rename).
+    pub fn save_to(
+        &self,
+        path: &Path,
+        frames: &FrameTable,
+        stacks: &StackTable,
+    ) -> Result<(), HistoryError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = io::BufWriter::new(file);
+            writeln!(w, "{HEADER}")?;
+            for sig in self.snapshot().iter() {
+                writeln!(
+                    w,
+                    "signature kind={} depth={} disabled={} avoided={} aborts={}",
+                    sig.kind,
+                    sig.depth(),
+                    u8::from(sig.is_disabled()),
+                    sig.avoided(),
+                    sig.aborts(),
+                )?;
+                for &stack_id in sig.stacks.iter() {
+                    let stack = stacks.resolve(stack_id);
+                    writeln!(w, "stack {}", stack.len())?;
+                    for &fid in stack.iter() {
+                        let f = frames.resolve(fid);
+                        writeln!(
+                            w,
+                            "frame {}|{}|{}",
+                            escape(&f.function),
+                            escape(&f.file),
+                            f.line
+                        )?;
+                    }
+                }
+                writeln!(w, "end")?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Merges the signatures found in `path` into this history, re-interning
+    /// frames and stacks. Duplicates are skipped. Returns how many new
+    /// signatures were added.
+    ///
+    /// This implements both startup loading and §8's live "vaccination":
+    /// inserting a vendor-shipped signature into a running program's history
+    /// without restarting it.
+    pub fn merge_file(
+        &self,
+        path: &Path,
+        frames: &FrameTable,
+        stacks: &StackTable,
+    ) -> Result<usize, HistoryError> {
+        let file = std::fs::File::open(path)?;
+        let reader = io::BufReader::new(file);
+        let mut added = 0;
+        let mut lineno = 0;
+        let mut lines = reader.lines();
+
+        let first = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| parse_err(1, "empty history file"))?;
+        lineno += 1;
+        if first.trim() != HEADER {
+            return Err(parse_err(lineno, format!("bad header {first:?}")));
+        }
+
+        #[derive(Default)]
+        struct Pending {
+            kind: Option<CycleKind>,
+            depth: u8,
+            disabled: bool,
+            avoided: u64,
+            aborts: u64,
+            stacks: Vec<StackId>,
+            /// Frames of the stack currently being read + expected count.
+            frames: Vec<crate::frame::FrameId>,
+            expect: usize,
+        }
+        let mut pending: Option<Pending> = None;
+
+        for line in lines {
+            let line = line?;
+            lineno += 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("signature ") {
+                if pending.is_some() {
+                    return Err(parse_err(lineno, "nested signature"));
+                }
+                let mut p = Pending {
+                    depth: 4,
+                    ..Default::default()
+                };
+                for kv in rest.split_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| parse_err(lineno, format!("bad attribute {kv:?}")))?;
+                    match k {
+                        "kind" => {
+                            p.kind = Some(match v {
+                                "deadlock" => CycleKind::Deadlock,
+                                "starvation" => CycleKind::Starvation,
+                                _ => return Err(parse_err(lineno, format!("bad kind {v:?}"))),
+                            })
+                        }
+                        "depth" => p.depth = parse_num(v, lineno)?,
+                        "disabled" => p.disabled = parse_num::<u8>(v, lineno)? != 0,
+                        "avoided" => p.avoided = parse_num(v, lineno)?,
+                        "aborts" => p.aborts = parse_num(v, lineno)?,
+                        _ => return Err(parse_err(lineno, format!("unknown attribute {k:?}"))),
+                    }
+                }
+                pending = Some(p);
+            } else if let Some(rest) = line.strip_prefix("stack ") {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "stack outside signature"))?;
+                if p.expect != p.frames.len() {
+                    return Err(parse_err(lineno, "previous stack incomplete"));
+                }
+                if !p.frames.is_empty() {
+                    p.stacks.push(stacks.intern(&p.frames));
+                    p.frames.clear();
+                }
+                p.expect = parse_num(rest, lineno)?;
+                if p.expect == 0 {
+                    return Err(parse_err(lineno, "empty stack"));
+                }
+            } else if let Some(rest) = line.strip_prefix("frame ") {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "frame outside signature"))?;
+                let parts = split_escaped(rest);
+                if parts.len() != 3 {
+                    return Err(parse_err(lineno, format!("bad frame {rest:?}")));
+                }
+                let lno: u32 = parse_num(&parts[2], lineno)?;
+                p.frames.push(frames.intern(&parts[0], &parts[1], lno));
+                if p.frames.len() > p.expect {
+                    return Err(parse_err(lineno, "more frames than declared"));
+                }
+            } else if line == "end" {
+                let mut p = pending
+                    .take()
+                    .ok_or_else(|| parse_err(lineno, "end outside signature"))?;
+                if p.expect != p.frames.len() {
+                    return Err(parse_err(lineno, "last stack incomplete"));
+                }
+                if !p.frames.is_empty() {
+                    p.stacks.push(stacks.intern(&p.frames));
+                }
+                let kind = p
+                    .kind
+                    .ok_or_else(|| parse_err(lineno, "signature missing kind"))?;
+                if p.stacks.is_empty() {
+                    return Err(parse_err(lineno, "signature with no stacks"));
+                }
+                if let Some(sig) = self.add(kind, p.stacks, p.depth) {
+                    sig.set_disabled(p.disabled);
+                    sig.set_avoided(p.avoided);
+                    for _ in 0..p.aborts {
+                        sig.record_abort();
+                    }
+                    added += 1;
+                }
+            } else {
+                return Err(parse_err(lineno, format!("unrecognized line {line:?}")));
+            }
+        }
+        if pending.is_some() {
+            return Err(parse_err(lineno, "unterminated signature"));
+        }
+        Ok(added)
+    }
+
+    /// Size of the serialized history in bytes (for the §7.4 report).
+    pub fn serialized_bytes(&self, frames: &FrameTable, stacks: &StackTable) -> usize {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(HEADER.as_bytes());
+        for sig in self.snapshot().iter() {
+            buf.extend_from_slice(b"\nsignature kind=XXXXXXXX depth=XX disabled=X");
+            for &stack_id in sig.stacks.iter() {
+                let stack = stacks.resolve(stack_id);
+                buf.extend_from_slice(b"\nstack NN");
+                for &fid in stack.iter() {
+                    let f = frames.resolve(fid);
+                    buf.extend_from_slice(b"\nframe ||123456");
+                    buf.extend_from_slice(f.function.as_bytes());
+                    buf.extend_from_slice(f.file.as_bytes());
+                }
+            }
+            buf.extend_from_slice(b"\nend");
+        }
+        buf.len()
+    }
+}
+
+impl Default for History {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("History")
+            .field("len", &self.len())
+            .field("generation", &self.generation())
+            .field("path", &self.path())
+            .finish()
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> HistoryError {
+    HistoryError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, HistoryError> {
+    s.parse()
+        .map_err(|_| parse_err(line, format!("bad number {s:?}")))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\|"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a `frame` payload on unescaped `|`, unescaping each field.
+fn split_escaped(s: &str) -> Vec<String> {
+    let mut parts = vec![String::new()];
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some('n') => parts.last_mut().expect("nonempty").push('\n'),
+                Some(e) => parts.last_mut().expect("nonempty").push(e),
+                None => {}
+            },
+            '|' => parts.push(String::new()),
+            _ => parts.last_mut().expect("nonempty").push(c),
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTable;
+    use crate::stack::StackTable;
+
+    struct Env {
+        frames: FrameTable,
+        stacks: StackTable,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Self {
+                frames: FrameTable::new(),
+                stacks: StackTable::new(),
+            }
+        }
+
+        fn stack(&self, lines: &[u32]) -> StackId {
+            let f: Vec<_> = lines
+                .iter()
+                .map(|&l| self.frames.intern("f", "x.rs", l))
+                .collect();
+            self.stacks.intern(&f)
+        }
+    }
+
+    #[test]
+    fn add_rejects_duplicates() {
+        let env = Env::new();
+        let h = History::new();
+        let a = env.stack(&[1, 2]);
+        let b = env.stack(&[3, 4]);
+        assert!(h.add(CycleKind::Deadlock, vec![a, b], 4).is_some());
+        // Same multiset in different order is still a duplicate.
+        assert!(h.add(CycleKind::Deadlock, vec![b, a], 4).is_none());
+        assert_eq!(h.len(), 1);
+        // A true multiset difference is not a duplicate.
+        assert!(h.add(CycleKind::Deadlock, vec![a, a], 4).is_some());
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn generation_moves_on_every_mutation() {
+        let env = Env::new();
+        let h = History::new();
+        let g0 = h.generation();
+        let sig = h
+            .add(CycleKind::Deadlock, vec![env.stack(&[1])], 4)
+            .unwrap();
+        let g1 = h.generation();
+        assert!(g1 > g0);
+        h.touch();
+        assert!(h.generation() > g1);
+        let g2 = h.generation();
+        assert!(h.remove(sig.id));
+        assert!(h.generation() > g2);
+        assert!(!h.remove(sig.id));
+    }
+
+    #[test]
+    fn snapshot_is_immutable_view() {
+        let env = Env::new();
+        let h = History::new();
+        h.add(CycleKind::Deadlock, vec![env.stack(&[1])], 4);
+        let snap = h.snapshot();
+        h.add(CycleKind::Deadlock, vec![env.stack(&[2])], 4);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(h.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn save_and_reload_roundtrip() {
+        let env = Env::new();
+        let dir = std::env::temp_dir().join(format!("dimmunix-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.dlk");
+
+        let h = History::new();
+        let s1 = env.stack(&[10, 3]);
+        let s2 = env.stack(&[11, 3]);
+        let sig = h.add(CycleKind::Deadlock, vec![s1, s2], 4).unwrap();
+        sig.record_avoided();
+        sig.record_avoided();
+        sig.record_abort();
+        let starv = h
+            .add(CycleKind::Starvation, vec![s1, s1, s2], 2)
+            .unwrap();
+        starv.set_disabled(true);
+        h.save_to(&path, &env.frames, &env.stacks).unwrap();
+
+        // Reload into a fresh universe (fresh interners).
+        let env2 = Env::new();
+        let h2 = History::open(&path, &env2.frames, &env2.stacks).unwrap();
+        assert_eq!(h2.len(), 2);
+        let snap = h2.snapshot();
+        let d = snap.iter().find(|s| s.kind == CycleKind::Deadlock).unwrap();
+        assert_eq!(d.depth(), 4);
+        assert_eq!(d.avoided(), 2);
+        assert_eq!(d.aborts(), 1);
+        assert_eq!(d.size(), 2);
+        let s = snap
+            .iter()
+            .find(|s| s.kind == CycleKind::Starvation)
+            .unwrap();
+        assert!(s.is_disabled());
+        assert_eq!(s.size(), 3);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merge_skips_known_signatures() {
+        let env = Env::new();
+        let dir = std::env::temp_dir().join(format!("dimmunix-hist2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merge.dlk");
+
+        let h = History::new();
+        h.add(CycleKind::Deadlock, vec![env.stack(&[1, 2]), env.stack(&[2, 1])], 4);
+        h.save_to(&path, &env.frames, &env.stacks).unwrap();
+
+        // Merging the same file back adds nothing.
+        assert_eq!(h.merge_file(&path, &env.frames, &env.stacks).unwrap(), 0);
+        assert_eq!(h.len(), 1);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_starts_empty() {
+        let env = Env::new();
+        let path = std::env::temp_dir().join("definitely-missing-dimmunix.dlk");
+        std::fs::remove_file(&path).ok();
+        let h = History::open(&path, &env.frames, &env.stacks).unwrap();
+        assert!(h.is_empty());
+        assert_eq!(h.path().unwrap(), path);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let env = Env::new();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dimmunix-bad-{}.dlk", std::process::id()));
+        std::fs::write(&path, "not a history\n").unwrap();
+        let h = History::new();
+        match h.merge_file(&path, &env.frames, &env.stacks) {
+            Err(HistoryError::Parse { line: 1, .. }) => {}
+            other => panic!("expected header parse error, got {other:?}"),
+        }
+        std::fs::write(
+            &path,
+            "# dimmunix-history v1\nsignature kind=deadlock\nstack 2\nframe a|b|1\nend\n",
+        )
+        .unwrap();
+        assert!(h.merge_file(&path, &env.frames, &env.stacks).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn escaping_roundtrips_weird_names() {
+        let env = Env::new();
+        let fid = env.frames.intern("op|weird\\name", "dir|x/y.rs", 7);
+        let sid = env.stacks.intern(&[fid]);
+        let h = History::new();
+        h.add(CycleKind::Deadlock, vec![sid], 4);
+        let path = std::env::temp_dir().join(format!("dimmunix-esc-{}.dlk", std::process::id()));
+        h.save_to(&path, &env.frames, &env.stacks).unwrap();
+
+        let env2 = Env::new();
+        let h2 = History::open(&path, &env2.frames, &env2.stacks).unwrap();
+        assert_eq!(h2.len(), 1);
+        let sig = h2.snapshot()[0].clone();
+        let stack = env2.stacks.resolve(sig.stacks[0]);
+        let f = env2.frames.resolve(stack[0]);
+        assert_eq!(&*f.function, "op|weird\\name");
+        assert_eq!(&*f.file, "dir|x/y.rs");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serialized_size_is_within_paper_band() {
+        // §7.4: "on the order of 200-1000 bytes per signature".
+        let env = Env::new();
+        let h = History::new();
+        for i in 0..10_u32 {
+            let s1 = env.stack(&[i * 2 + 100, 3]);
+            let s2 = env.stack(&[i * 2 + 101, 3]);
+            h.add(CycleKind::Deadlock, vec![s1, s2], 4);
+        }
+        let bytes = h.serialized_bytes(&env.frames, &env.stacks);
+        let per_sig = bytes / 10;
+        assert!(per_sig < 1000, "{per_sig} bytes per signature");
+    }
+}

@@ -1,0 +1,221 @@
+//! Suffix-hash index over the history.
+//!
+//! The paper's `request` hook walks the history and, for each signature,
+//! checks whether the current call stack matches one of the signature's
+//! member stacks at the signature's matching depth (§5.6). With the history
+//! sizes the paper evaluates (≤256), a linear walk is already cheap — Fig. 7
+//! shows history size contributes negligible overhead — but Dimmunix keys
+//! its metadata by hashed call stack, so we provide the equivalent: an index
+//! from depth-truncated stack suffixes to the signature members that carry
+//! them. The avoidance runtime can use either strategy; the Criterion bench
+//! `request_path` compares them (an ablation called out in DESIGN.md).
+
+use crate::frame::FrameId;
+use crate::history::History;
+use crate::signature::Signature;
+use crate::stack::{suffix_of, StackTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable index over one history generation.
+///
+/// Rebuild (cheaply) whenever [`History::generation`] moves — membership or
+/// matching-depth changes both bump it.
+#[derive(Debug)]
+pub struct MatchIndex {
+    /// Generation of the history this index was built from.
+    generation: u64,
+    /// Distinct matching depths present in the history, ascending.
+    depths: Vec<u8>,
+    /// `(depth, suffix)` → signature members whose stack has that suffix at
+    /// that depth. The member index is the position within
+    /// `signature.stacks`.
+    by_suffix: HashMap<(u8, Box<[FrameId]>), Vec<(Arc<Signature>, usize)>>,
+}
+
+impl MatchIndex {
+    /// Builds an index over the current contents of `history`.
+    pub fn build(history: &History, stacks: &StackTable) -> Self {
+        let generation = history.generation();
+        let snapshot = history.snapshot();
+        let mut depths = Vec::new();
+        let mut by_suffix: HashMap<(u8, Box<[FrameId]>), Vec<(Arc<Signature>, usize)>> =
+            HashMap::new();
+        for sig in snapshot.iter() {
+            if sig.is_disabled() {
+                continue;
+            }
+            let depth = sig.depth();
+            if !depths.contains(&depth) {
+                depths.push(depth);
+            }
+            for (member, &stack_id) in sig.stacks.iter().enumerate() {
+                let frames = stacks.resolve(stack_id);
+                let suffix: Box<[FrameId]> = suffix_of(&frames, depth as usize).into();
+                by_suffix
+                    .entry((depth, suffix))
+                    .or_default()
+                    .push((Arc::clone(sig), member));
+            }
+        }
+        depths.sort_unstable();
+        Self {
+            generation,
+            depths,
+            by_suffix,
+        }
+    }
+
+    /// Generation of the history this index reflects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the index must be rebuilt for `history`.
+    pub fn is_stale(&self, history: &History) -> bool {
+        self.generation != history.generation()
+    }
+
+    /// All `(signature, member_position)` pairs whose member stack matches
+    /// `stack` at the signature's current depth.
+    pub fn candidates<'a>(
+        &'a self,
+        stack: &'a [FrameId],
+    ) -> impl Iterator<Item = (&'a Arc<Signature>, usize)> + 'a {
+        self.depths.iter().flat_map(move |&d| {
+            let key = (d, suffix_of(stack, d as usize).into());
+            self.by_suffix
+                .get(&key)
+                .into_iter()
+                .flatten()
+                .map(|(sig, member)| (sig, *member))
+        })
+    }
+
+    /// Number of distinct `(depth, suffix)` keys (for resource accounting).
+    pub fn key_count(&self) -> usize {
+        self.by_suffix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTable;
+    use crate::signature::CycleKind;
+    use crate::stack::StackId;
+
+    struct Env {
+        frames: FrameTable,
+        stacks: StackTable,
+        history: History,
+    }
+
+    impl Env {
+        fn new() -> Self {
+            Self {
+                frames: FrameTable::new(),
+                stacks: StackTable::new(),
+                history: History::new(),
+            }
+        }
+
+        fn stack(&self, lines: &[u32]) -> StackId {
+            let f: Vec<_> = lines
+                .iter()
+                .map(|&l| self.frames.intern("f", "x.rs", l))
+                .collect();
+            self.stacks.intern(&f)
+        }
+
+        fn frames_of(&self, lines: &[u32]) -> Vec<FrameId> {
+            lines.iter().map(|&l| self.frames.intern("f", "x.rs", l)).collect()
+        }
+    }
+
+    #[test]
+    fn finds_members_matching_at_depth() {
+        let env = Env::new();
+        let s1 = env.stack(&[1, 5, 6]);
+        let s2 = env.stack(&[2, 5, 7]);
+        let sig = env
+            .history
+            .add(CycleKind::Deadlock, vec![s1, s2], 2)
+            .unwrap();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+
+        // A fresh stack sharing s1's depth-2 suffix [5, 6].
+        let probe = env.frames_of(&[9, 9, 5, 6]);
+        let hits: Vec<_> = idx.candidates(&probe).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.id, sig.id);
+        // The matched member is the one holding the [_, 5, 6] stack.
+        let member_stack = env.stacks.resolve(sig.stacks[hits[0].1]);
+        assert_eq!(suffix_of(&member_stack, 2), &env.frames_of(&[5, 6])[..]);
+
+        // A stack with no matching suffix yields nothing.
+        let miss = env.frames_of(&[5, 9]);
+        assert_eq!(idx.candidates(&miss).count(), 0);
+    }
+
+    #[test]
+    fn disabled_signatures_are_invisible() {
+        let env = Env::new();
+        let s = env.stack(&[1, 2]);
+        let sig = env.history.add(CycleKind::Deadlock, vec![s, s], 2).unwrap();
+        sig.set_disabled(true);
+        env.history.touch();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+        assert_eq!(idx.candidates(&env.frames_of(&[1, 2])).count(), 0);
+    }
+
+    #[test]
+    fn staleness_tracks_generation() {
+        let env = Env::new();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+        assert!(!idx.is_stale(&env.history));
+        env.history
+            .add(CycleKind::Deadlock, vec![env.stack(&[1])], 4);
+        assert!(idx.is_stale(&env.history));
+    }
+
+    #[test]
+    fn mixed_depths_are_all_queried() {
+        let env = Env::new();
+        let shallow = env.history
+            .add(CycleKind::Deadlock, vec![env.stack(&[1, 6]), env.stack(&[2, 6])], 1)
+            .unwrap();
+        let deep = env.history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[1, 2, 3, 6]), env.stack(&[4, 5, 6, 6])],
+                4,
+            )
+            .unwrap();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+
+        // Anything ending in 6 matches `shallow` at depth 1; only the exact
+        // 4-suffix matches `deep`.
+        let probe = env.frames_of(&[9, 1, 2, 3, 6]);
+        let mut sig_ids: Vec<_> = idx.candidates(&probe).map(|(s, _)| s.id).collect();
+        sig_ids.sort_unstable();
+        sig_ids.dedup();
+        assert!(sig_ids.contains(&shallow.id));
+        assert!(sig_ids.contains(&deep.id));
+
+        let probe2 = env.frames_of(&[9, 9, 9, 6]);
+        let ids2: Vec<_> = idx.candidates(&probe2).map(|(s, _)| s.id).collect();
+        assert!(ids2.contains(&shallow.id));
+        assert!(!ids2.contains(&deep.id));
+    }
+
+    #[test]
+    fn same_stack_twice_in_one_signature_yields_two_members() {
+        let env = Env::new();
+        let s = env.stack(&[3, 4]);
+        env.history.add(CycleKind::Deadlock, vec![s, s], 2).unwrap();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+        let probe = env.frames_of(&[3, 4]);
+        assert_eq!(idx.candidates(&probe).count(), 2);
+    }
+}

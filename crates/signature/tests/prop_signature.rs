@@ -1,0 +1,160 @@
+//! Property-based tests for stacks, signatures, history persistence and
+//! calibration.
+
+use dimmunix_signature::{
+    suffix_matches, suffix_of, CalibrationConfig, CalibrationState, CalibrationUpdate,
+    CycleKind, FrameId, FrameTable, History, Phase, StackTable,
+};
+use proptest::prelude::*;
+
+fn arb_stack() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0_u32..24, 1..12)
+}
+
+fn intern(ft: &FrameTable, lines: &[u32]) -> Vec<FrameId> {
+    lines.iter().map(|&l| ft.intern("f", "p.rs", l)).collect()
+}
+
+proptest! {
+    /// Matching is monotone: equality of deeper suffixes implies equality
+    /// of shallower ones (§5.5's premise that shallow matching is the more
+    /// general pattern).
+    #[test]
+    fn suffix_matching_is_monotone(a in arb_stack(), b in arb_stack(), d1 in 0_usize..14, d2 in 0_usize..14) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let ft = FrameTable::new();
+        let fa = intern(&ft, &a);
+        let fb = intern(&ft, &b);
+        if suffix_matches(&fa, &fb, hi) {
+            prop_assert!(suffix_matches(&fa, &fb, lo),
+                "match at depth {hi} must imply match at depth {lo}");
+        }
+    }
+
+    /// `suffix_of` returns at most `depth` frames and is a true suffix.
+    #[test]
+    fn suffix_of_is_a_suffix(a in arb_stack(), d in 0_usize..14) {
+        let ft = FrameTable::new();
+        let fa = intern(&ft, &a);
+        let s = suffix_of(&fa, d);
+        prop_assert!(s.len() <= d || d == 0 && s.is_empty() || s.len() == fa.len().min(d));
+        prop_assert_eq!(s, &fa[fa.len() - s.len()..]);
+    }
+
+    /// Stack interning is injective: equal ids ⇔ equal frame sequences.
+    #[test]
+    fn stack_interning_injective(a in arb_stack(), b in arb_stack()) {
+        let ft = FrameTable::new();
+        let st = StackTable::new();
+        let ia = st.intern(&intern(&ft, &a));
+        let ib = st.intern(&intern(&ft, &b));
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    /// Adding the same stack multiset in any order is a duplicate.
+    #[test]
+    fn history_dedup_is_order_insensitive(stacks in prop::collection::vec(arb_stack(), 2..4), shuffle in any::<u64>()) {
+        let ft = FrameTable::new();
+        let st = StackTable::new();
+        let h = History::new();
+        let ids: Vec<_> = stacks.iter().map(|s| st.intern(&intern(&ft, s))).collect();
+        prop_assert!(h.add(CycleKind::Deadlock, ids.clone(), 4).is_some());
+        let mut shuffled = ids.clone();
+        // Cheap deterministic shuffle.
+        if shuffled.len() > 1 {
+            let k = (shuffle as usize) % shuffled.len();
+            shuffled.rotate_left(k);
+        }
+        prop_assert!(h.add(CycleKind::Deadlock, shuffled, 4).is_none());
+        prop_assert_eq!(h.len(), 1);
+    }
+
+    /// Save → load roundtrips every signature with its metadata, even with
+    /// hostile function/file names.
+    #[test]
+    fn history_roundtrips_through_disk(
+        sigs in prop::collection::vec(
+            (prop::collection::vec(arb_stack(), 1..4), any::<bool>(), 1_u8..12, 0_u64..100),
+            1..8),
+        name_a in "[a-z|\\\\ ]{1,12}",
+    ) {
+        let ft = FrameTable::new();
+        let st = StackTable::new();
+        let h = History::new();
+        let mut expected = 0;
+        for (stacks, disabled, depth, avoided) in &sigs {
+            let ids: Vec<_> = stacks
+                .iter()
+                .map(|s| {
+                    let mut frames = intern(&ft, s);
+                    // Mix in a hostile frame name to exercise escaping.
+                    frames.push(ft.intern(&name_a, "dir|x.rs", 1));
+                    st.intern(&frames)
+                })
+                .collect();
+            if let Some(sig) = h.add(CycleKind::Starvation, ids, *depth) {
+                sig.set_disabled(*disabled);
+                sig.set_avoided(*avoided);
+                expected += 1;
+            }
+        }
+        let path = std::env::temp_dir().join(format!(
+            "dimmunix-prop-{}-{}.dlk",
+            std::process::id(),
+            expected
+        ));
+        h.save_to(&path, &ft, &st).unwrap();
+        let ft2 = FrameTable::new();
+        let st2 = StackTable::new();
+        let h2 = History::open(&path, &ft2, &st2).unwrap();
+        prop_assert_eq!(h2.len(), expected);
+        // Compare metadata multisets.
+        let mut before: Vec<_> = h
+            .snapshot()
+            .iter()
+            .map(|s| (s.size(), s.depth(), s.is_disabled(), s.avoided()))
+            .collect();
+        let mut after: Vec<_> = h2
+            .snapshot()
+            .iter()
+            .map(|s| (s.size(), s.depth(), s.is_disabled(), s.avoided()))
+            .collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Calibration always terminates with a depth in range, no matter how
+    /// adversarial the FP verdict stream is.
+    #[test]
+    fn calibration_terminates_in_range(
+        verdicts in prop::collection::vec((any::<bool>(), 0_u8..12), 1..400),
+        na in 1_u32..5,
+        max_depth in 2_u8..8,
+    ) {
+        let cfg = CalibrationConfig { na, nt: 1_000, max_depth };
+        let mut st = CalibrationState::disabled();
+        st.start(&cfg);
+        let mut finished_depth = None;
+        for (fp, match_bound) in verdicts {
+            let d = st.current_depth().clamp(1, max_depth);
+            let upd = st.record_outcome(&cfg, d, fp, |q| q <= match_bound);
+            match upd {
+                CalibrationUpdate::SetDepth(nd) => {
+                    prop_assert!((1..=max_depth).contains(&nd));
+                }
+                CalibrationUpdate::Finished { depth, fp_rate } => {
+                    prop_assert!((1..=max_depth).contains(&depth));
+                    prop_assert!((0.0..=1.0).contains(&fp_rate));
+                    finished_depth = Some(depth);
+                    break;
+                }
+                CalibrationUpdate::None => {}
+            }
+        }
+        if finished_depth.is_some() {
+            prop_assert_eq!(st.phase(), Phase::Stable);
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The cooperative scheduler.
+
+use crate::script::{Op, Script};
+use dimmunix_core::{Decision, Runtime, Signature, StatsSnapshot};
+use dimmunix_core::ThreadId;
+use dimmunix_signature::{FrameId, StackId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Handle to a simulated lock (index within one [`Sim`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockHandle(pub usize);
+
+/// Simulator tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Abort the run after this many scheduler steps (runaway guard).
+    pub max_steps: u64,
+    /// Step the monitor every this many time units (the simulated τ).
+    pub monitor_every: u64,
+    /// Simulated max-yield duration (steps) before a yield aborts, §5.7.
+    pub max_yield_steps: Option<u64>,
+    /// End the run as soon as the monitor reports a deadlock (the paper's
+    /// "the test deadlocked prior to completion").
+    pub stop_on_deadlock: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 1_000_000,
+            monitor_every: 20,
+            max_yield_steps: Some(100_000),
+            stop_on_deadlock: true,
+        }
+    }
+}
+
+/// How a simulation ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Every thread ran its script to completion.
+    Completed,
+    /// A deadlock occurred; the named threads were stuck.
+    Deadlock {
+        /// Names of the stuck threads.
+        stuck: Vec<&'static str>,
+    },
+    /// The step budget ran out.
+    MaxSteps,
+}
+
+/// Result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Scheduler steps consumed.
+    pub steps: u64,
+    /// Yields performed during this run.
+    pub yields: u64,
+    /// Deadlocks detected by the monitor during this run.
+    pub deadlocks_detected: u64,
+    /// Starvations detected during this run.
+    pub starvations_detected: u64,
+    /// Signatures added to the history during this run.
+    pub signatures_added: u64,
+    /// Yield-timeout aborts during this run.
+    pub yield_aborts: u64,
+}
+
+impl RunReport {
+    /// Whether the run completed without deadlocking.
+    pub fn completed(&self) -> bool {
+        self.outcome == Outcome::Completed
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum VState {
+    Ready,
+    /// Waiting for the simulated lock to be granted (GO was given).
+    Blocked(usize),
+    /// Dimmunix told the thread to yield on this lock.
+    Yielding(usize),
+    Done,
+}
+
+struct VThread {
+    name: &'static str,
+    tid: ThreadId,
+    ops: Vec<Op>,
+    pc: usize,
+    /// Interned frames of the current call scopes (outermost first).
+    frames: Vec<FrameId>,
+    state: VState,
+    /// Set when a `release` wake or monitor break makes a yielder eligible.
+    woken: bool,
+    yield_since: u64,
+    yield_sig: Option<Arc<Signature>>,
+    /// Pending site info for the lock being yielded on (to retry).
+    pending: Option<(Vec<FrameId>, StackId)>,
+    held: Vec<usize>,
+}
+
+struct SimLock {
+    #[allow(dead_code)] // Names aid debugging/DOT dumps.
+    name: &'static str,
+    id: dimmunix_core::LockId,
+    owner: Option<usize>,
+    waiters: VecDeque<usize>,
+}
+
+/// A deterministic simulation of virtual threads over one Dimmunix runtime.
+///
+/// The runtime (and hence the history — the immune memory) is shared across
+/// sims: run one `Sim` per "program execution" and reuse the runtime to
+/// model restarts.
+pub struct Sim {
+    rt: Runtime,
+    config: SimConfig,
+    rng: StdRng,
+    locks: Vec<SimLock>,
+    threads: Vec<VThread>,
+    time: u64,
+    start_stats: StatsSnapshot,
+}
+
+impl Sim {
+    /// Creates a simulation over `rt` with a deterministic `seed`.
+    pub fn new(rt: &Runtime, seed: u64) -> Self {
+        Self::with_config(rt, seed, SimConfig::default())
+    }
+
+    /// Creates a simulation with explicit tunables.
+    pub fn with_config(rt: &Runtime, seed: u64, config: SimConfig) -> Self {
+        Self {
+            rt: rt.clone(),
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            locks: Vec::new(),
+            threads: Vec::new(),
+            time: 0,
+            start_stats: rt.stats(),
+        }
+    }
+
+    /// Declares a simulated lock.
+    pub fn lock_handle(&mut self, name: &'static str) -> LockHandle {
+        let id = self.rt.new_lock_id();
+        self.locks.push(SimLock {
+            name,
+            id,
+            owner: None,
+            waiters: VecDeque::new(),
+        });
+        LockHandle(self.locks.len() - 1)
+    }
+
+    /// Spawns a virtual thread running `script`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime's `max_threads` registrations are exhausted.
+    pub fn spawn(&mut self, name: &'static str, script: Script) {
+        let tid = self
+            .rt
+            .core()
+            .register_thread()
+            .expect("simulator thread registration failed: raise Config::max_threads");
+        self.threads.push(VThread {
+            name,
+            tid,
+            ops: script.ops().to_vec(),
+            pc: 0,
+            frames: Vec::new(),
+            state: VState::Ready,
+            woken: false,
+            yield_since: 0,
+            yield_sig: None,
+            pending: None,
+            held: Vec::new(),
+        });
+    }
+
+    /// Interns the stack for thread `v` locking at `site` (or at its current
+    /// program position when `site` is `None`).
+    fn lock_stack(&self, v: usize, site: Option<&'static str>) -> (Vec<FrameId>, StackId) {
+        let t = &self.threads[v];
+        let mut frames = t.frames.clone();
+        let site_frame = match site {
+            Some(s) => self.rt.frame_table().intern(s, "<site>", 0),
+            None => self
+                .rt
+                .frame_table()
+                .intern("lock", "<script>", t.pc as u32),
+        };
+        frames.push(site_frame);
+        let stack = self.rt.stack_table().intern(&frames);
+        (frames, stack)
+    }
+
+    /// Grants `lock` to `v` at the core level and updates sim state.
+    fn grant(&mut self, v: usize, lock: usize, stack: StackId) {
+        let tid = self.threads[v].tid;
+        self.locks[lock].owner = Some(v);
+        self.rt.core().acquired(tid, self.locks[lock].id, stack);
+        self.threads[v].held.push(lock);
+        self.threads[v].state = VState::Ready;
+        self.threads[v].pc += 1;
+    }
+
+    /// Attempts the simulated acquisition after a GO decision.
+    fn attempt_acquire(&mut self, v: usize, lock: usize, stack: StackId) {
+        if self.locks[lock].owner.is_none() {
+            self.grant(v, lock, stack);
+        } else {
+            self.locks[lock].waiters.push_back(v);
+            self.threads[v].state = VState::Blocked(lock);
+            self.threads[v].pending = Some((Vec::new(), stack));
+        }
+    }
+
+    /// Executes one scheduling slot for thread `v`. Returns `false` if the
+    /// thread could not make progress.
+    fn run_slot(&mut self, v: usize) {
+        // Resume a yielding thread first.
+        if let VState::Yielding(lock) = self.threads[v].state {
+            let tid = self.threads[v].tid;
+            let (frames, stack) = self.threads[v]
+                .pending
+                .clone()
+                .expect("yielding thread has a pending request");
+            if self.rt.core().take_broken(tid) {
+                // Monitor broke the starvation: pursue the lock directly.
+                self.rt.core().force_go(tid, self.locks[lock].id, &frames, stack);
+                self.threads[v].yield_sig = None;
+                self.threads[v].woken = false;
+                self.attempt_acquire(v, lock, stack);
+                return;
+            }
+            let timed_out = self
+                .config
+                .max_yield_steps
+                .is_some_and(|m| self.time.saturating_sub(self.threads[v].yield_since) >= m);
+            if timed_out {
+                if let Some(sig) = self.threads[v].yield_sig.take() {
+                    crate::sim::record_abort(&self.rt, &sig);
+                }
+                self.rt.core().force_go(tid, self.locks[lock].id, &frames, stack);
+                self.threads[v].woken = false;
+                self.attempt_acquire(v, lock, stack);
+                return;
+            }
+            if !self.threads[v].woken {
+                return;
+            }
+            self.threads[v].woken = false;
+            match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+                Decision::Go => {
+                    self.threads[v].yield_sig = None;
+                    self.attempt_acquire(v, lock, stack);
+                }
+                Decision::Yield { sig } => {
+                    self.threads[v].yield_sig = Some(sig);
+                    self.threads[v].yield_since = self.time;
+                }
+            }
+            return;
+        }
+
+        let Some(&op) = self.threads[v].ops.get(self.threads[v].pc) else {
+            self.finish_thread(v);
+            return;
+        };
+        match op {
+            Op::Call(name) => {
+                let f = self.rt.frame_table().intern(name, "<call>", 0);
+                self.threads[v].frames.push(f);
+                self.threads[v].pc += 1;
+            }
+            Op::Return => {
+                self.threads[v].frames.pop();
+                self.threads[v].pc += 1;
+            }
+            Op::Compute(n) => {
+                self.time += u64::from(n);
+                self.threads[v].pc += 1;
+            }
+            Op::Lock(LockHandle(lock), site) => {
+                let (frames, stack) = self.lock_stack(v, site);
+                let tid = self.threads[v].tid;
+                match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+                    Decision::Go => self.attempt_acquire(v, lock, stack),
+                    Decision::Yield { sig } => {
+                        self.threads[v].state = VState::Yielding(lock);
+                        self.threads[v].yield_sig = Some(sig);
+                        self.threads[v].yield_since = self.time;
+                        self.threads[v].woken = false;
+                        self.threads[v].pending = Some((frames, stack));
+                    }
+                }
+            }
+            Op::TryLock(LockHandle(lock), site) => {
+                let (frames, stack) = self.lock_stack(v, site);
+                let tid = self.threads[v].tid;
+                match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+                    Decision::Go => {
+                        if self.locks[lock].owner.is_none() {
+                            self.grant(v, lock, stack);
+                            return;
+                        }
+                        self.rt.core().cancel(tid, self.locks[lock].id);
+                    }
+                    Decision::Yield { .. } => {
+                        self.rt.core().cancel(tid, self.locks[lock].id);
+                    }
+                }
+                self.threads[v].pc += 1;
+            }
+            Op::UnlockIfHeld(LockHandle(lock)) => {
+                if !self.threads[v].held.contains(&lock) {
+                    self.threads[v].pc += 1;
+                    return;
+                }
+                self.do_unlock(v, lock);
+            }
+            Op::Unlock(LockHandle(lock)) => {
+                self.do_unlock(v, lock);
+            }
+        }
+    }
+
+    fn do_unlock(&mut self, v: usize, lock: usize) {
+        let tid = self.threads[v].tid;
+        let wake = self.rt.core().release(tid, self.locks[lock].id);
+        if let Some(pos) = self.threads[v].held.iter().rposition(|&h| h == lock) {
+            self.threads[v].held.remove(pos);
+        }
+        self.locks[lock].owner = None;
+        // FIFO hand-off to the next blocked waiter.
+        if let Some(next) = self.locks[lock].waiters.pop_front() {
+            let stack = self.threads[next]
+                .pending
+                .as_ref()
+                .map(|(_, s)| *s)
+                .expect("blocked thread has a pending stack");
+            self.grant(next, lock, stack);
+        }
+        // Wake yielding threads whose cause was (tid, lock).
+        for w in wake {
+            if let Some(idx) = self.threads.iter().position(|t| t.tid == w) {
+                self.threads[idx].woken = true;
+            }
+        }
+        self.threads[v].pc += 1;
+    }
+
+    fn finish_thread(&mut self, v: usize) {
+        self.threads[v].state = VState::Done;
+    }
+
+    /// Whether thread `v` can be scheduled right now.
+    fn eligible(&self, v: usize) -> bool {
+        match self.threads[v].state {
+            VState::Ready => true,
+            VState::Yielding(_) => {
+                self.threads[v].woken
+                    || self
+                        .config
+                        .max_yield_steps
+                        .is_some_and(|m| self.time.saturating_sub(self.threads[v].yield_since) >= m)
+            }
+            VState::Blocked(_) | VState::Done => false,
+        }
+    }
+
+    /// Runs to completion, deadlock, or step exhaustion.
+    pub fn run(&mut self) -> RunReport {
+        let mut steps = 0_u64;
+        let mut last_monitor = 0_u64;
+        let outcome = loop {
+            if steps >= self.config.max_steps {
+                break Outcome::MaxSteps;
+            }
+            steps += 1;
+            self.time += 1;
+            if self.time - last_monitor >= self.config.monitor_every {
+                last_monitor = self.time;
+                self.rt.step_monitor();
+                self.poll_breaks();
+                if self.config.stop_on_deadlock && self.deadlock_delta() > 0 {
+                    break Outcome::Deadlock {
+                        stuck: self.stuck_names(),
+                    };
+                }
+            }
+            let eligible: Vec<usize> = (0..self.threads.len())
+                .filter(|&v| self.eligible(v))
+                .collect();
+            if eligible.is_empty() {
+                if self.threads.iter().all(|t| t.state == VState::Done) {
+                    break Outcome::Completed;
+                }
+                // Quiescent but unfinished: give the monitor a chance to
+                // detect and break, then advance time to yield timeouts.
+                self.rt.step_monitor();
+                last_monitor = self.time;
+                self.poll_breaks();
+                if self.config.stop_on_deadlock && self.deadlock_delta() > 0 {
+                    break Outcome::Deadlock {
+                        stuck: self.stuck_names(),
+                    };
+                }
+                if self.threads.iter().any(|t| t.woken) {
+                    continue;
+                }
+                // Advance virtual time to the earliest yield timeout.
+                let next_timeout = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match t.state {
+                        VState::Yielding(_) => self
+                            .config
+                            .max_yield_steps
+                            .map(|m| t.yield_since.saturating_add(m)),
+                        _ => None,
+                    })
+                    .min();
+                match next_timeout {
+                    Some(deadline) if deadline > self.time => {
+                        self.time = deadline;
+                        continue;
+                    }
+                    Some(_) => continue,
+                    None => {
+                        // Nothing can ever run again: a real deadlock.
+                        self.rt.step_monitor();
+                        break Outcome::Deadlock {
+                            stuck: self.stuck_names(),
+                        };
+                    }
+                }
+            }
+            let pick = eligible[self.rng.gen_range(0..eligible.len())];
+            self.run_slot(pick);
+        };
+        // Trial over: drain events and clean up the RAG (the "program" has
+        // terminated or been restarted).
+        self.rt.step_monitor();
+        let end = self.rt.stats();
+        RunReport {
+            outcome,
+            steps,
+            yields: end.yields - self.start_stats.yields,
+            deadlocks_detected: end.deadlocks_detected - self.start_stats.deadlocks_detected,
+            starvations_detected: end.starvations_detected - self.start_stats.starvations_detected,
+            signatures_added: end.signatures_added - self.start_stats.signatures_added,
+            yield_aborts: end.yield_aborts - self.start_stats.yield_aborts,
+        }
+    }
+
+    /// Marks yielders whose yield the monitor just broke as eligible.
+    fn poll_breaks(&mut self) {
+        for v in 0..self.threads.len() {
+            if matches!(self.threads[v].state, VState::Yielding(_))
+                && self.rt.core().is_yielding(self.threads[v].tid)
+            {
+                // Still yielding normally.
+                continue;
+            }
+            if matches!(self.threads[v].state, VState::Yielding(_)) {
+                // The monitor cleared the yield (break): schedule a resume.
+                self.threads[v].woken = true;
+            }
+        }
+    }
+
+    fn deadlock_delta(&self) -> u64 {
+        self.rt.stats().deadlocks_detected - self.start_stats.deadlocks_detected
+    }
+
+    fn stuck_names(&self) -> Vec<&'static str> {
+        self.threads
+            .iter()
+            .filter(|t| !matches!(t.state, VState::Done))
+            .map(|t| t.name)
+            .collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        for t in &self.threads {
+            self.rt.core().unregister_thread(t.tid);
+        }
+        // Let the monitor observe the exits so the RAG forgets this run.
+        self.rt.step_monitor();
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("threads", &self.threads.len())
+            .field("locks", &self.locks.len())
+            .field("time", &self.time)
+            .finish()
+    }
+}
+
+/// Records a yield-timeout abort against `sig` with the runtime's
+/// auto-disable policy (mirrors the real-thread path).
+fn record_abort(rt: &Runtime, sig: &Arc<Signature>) {
+    let aborts = sig.record_abort();
+    if let Some(threshold) = rt.config().abort_disable_threshold {
+        if aborts >= threshold && !sig.is_disabled() {
+            sig.set_disabled(true);
+            rt.history().touch();
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Java JDK 1.6 "invitations to deadlock" (Table 2).
+//!
+//! The JDK's synchronized base classes let *correct* application code
+//! deadlock inside the runtime library: `v1.addAll(v2)` locks `v1` then
+//! `v2`, so two threads running `v1.addAll(v2)` ∥ `v2.addAll(v1)` invert
+//! the order with no application bug at all. The paper reproduces five such
+//! cases and avoids them all with Dimmunix; this module models each with
+//! the JDK class's synchronization structure.
+
+use crate::Workload;
+use dimmunix_threadsim::{LockHandle, Script, Sim};
+
+/// `A.op(B)` under a synchronized class: lock A's monitor at `outer_site`,
+/// compute, lock B's monitor at `inner_site` (the internal iteration), then
+/// release both.
+fn sync_method(
+    outer: LockHandle,
+    inner: LockHandle,
+    scope: &'static str,
+    outer_site: &'static str,
+    inner_site: &'static str,
+) -> Script {
+    Script::new().scoped(scope, move |s| {
+        s.lock_at(outer, outer_site)
+            .compute(2)
+            .lock_at(inner, inner_site)
+            .compute(2)
+            .unlock(inner)
+            .unlock(outer)
+    })
+}
+
+fn build_vector(sim: &mut Sim) {
+    let v1 = sim.lock_handle("Vector v1.monitor");
+    let v2 = sim.lock_handle("Vector v2.monitor");
+    sim.spawn(
+        "adder-1",
+        sync_method(v1, v2, "Vector.addAll", "Vector.addAll:this", "Vector.toArray:other"),
+    );
+    sim.spawn(
+        "adder-2",
+        sync_method(v2, v1, "Vector.addAll", "Vector.addAll:this", "Vector.toArray:other"),
+    );
+}
+
+fn build_hashtable(sim: &mut Sim) {
+    let h1 = sim.lock_handle("Hashtable h1.monitor");
+    let h2 = sim.lock_handle("Hashtable h2.monitor");
+    sim.spawn(
+        "equals-1",
+        sync_method(h1, h2, "Hashtable.equals", "Hashtable.equals:this", "Hashtable.get:member"),
+    );
+    sim.spawn(
+        "equals-2",
+        sync_method(h2, h1, "Hashtable.equals", "Hashtable.equals:this", "Hashtable.get:member"),
+    );
+}
+
+fn build_stringbuffer(sim: &mut Sim) {
+    let s1 = sim.lock_handle("StringBuffer s1.monitor");
+    let s2 = sim.lock_handle("StringBuffer s2.monitor");
+    sim.spawn(
+        "append-1",
+        sync_method(s1, s2, "StringBuffer.append", "StringBuffer.append:this", "StringBuffer.getChars:other"),
+    );
+    sim.spawn(
+        "append-2",
+        sync_method(s2, s1, "StringBuffer.append", "StringBuffer.append:this", "StringBuffer.getChars:other"),
+    );
+}
+
+fn build_printwriter(sim: &mut Sim) {
+    let writer = sim.lock_handle("PrintWriter.lock");
+    let caw = sim.lock_handle("CharArrayWriter.lock");
+    // w.write(): PrintWriter.lock → CharArrayWriter.lock (flush into it).
+    sim.spawn(
+        "writer",
+        sync_method(writer, caw, "PrintWriter.write", "PrintWriter.write:lock", "CharArrayWriter.write:lock"),
+    );
+    // caw.writeTo(w): CharArrayWriter.lock → PrintWriter.lock.
+    sim.spawn(
+        "drainer",
+        sync_method(caw, writer, "CharArrayWriter.writeTo", "CharArrayWriter.writeTo:lock", "PrintWriter.write:lock"),
+    );
+}
+
+fn build_beancontext(sim: &mut Sim) {
+    let context = sim.lock_handle("BeanContextSupport.monitor");
+    let child = sim.lock_handle("BeanContextChild.monitor");
+    sim.spawn(
+        "property-change",
+        sync_method(child, context, "BeanContextSupport.propertyChange", "propertyChange:child", "BeanContext.validate:context"),
+    );
+    sim.spawn(
+        "remove",
+        sync_method(context, child, "BeanContextSupport.remove", "remove:context", "Child.setBeanContext:child"),
+    );
+}
+
+/// `Vector`: concurrent `v1.addAll(v2)` and `v2.addAll(v1)`.
+pub const VECTOR: Workload = Workload {
+    system: "Java JDK 1.6",
+    bug_id: "Vector",
+    description: "Concurrently call v1.addAll(v2) and v2.addAll(v1)",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build: build_vector,
+};
+
+/// `Hashtable`: mutual `equals` on mutually-contained tables.
+pub const HASHTABLE: Workload = Workload {
+    system: "Java JDK 1.6",
+    bug_id: "Hashtable",
+    description: "With h1 a member of h2 and vice versa, concurrently call h1.equals(foo) and h2.equals(bar)",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build: build_hashtable,
+};
+
+/// `StringBuffer`: mutual `append`.
+pub const STRINGBUFFER: Workload = Workload {
+    system: "Java JDK 1.6",
+    bug_id: "StringBuffer",
+    description: "Concurrently call s1.append(s2) and s2.append(s1)",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build: build_stringbuffer,
+};
+
+/// `PrintWriter` / `CharArrayWriter`: `write` vs `writeTo`.
+pub const PRINTWRITER: Workload = Workload {
+    system: "Java JDK 1.6",
+    bug_id: "PrintWriter",
+    description: "Concurrently call w.write() and CharArrayWriter.writeTo(w)",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build: build_printwriter,
+};
+
+/// `BeanContextSupport`: `propertyChange` vs `remove`.
+pub const BEANCONTEXT: Workload = Workload {
+    system: "Java JDK 1.6",
+    bug_id: "BeanContextSupport",
+    description: "Concurrent propertyChange() and remove()",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build: build_beancontext,
+};
+
+/// All five Table 2 scenarios.
+pub fn all() -> Vec<Workload> {
+    vec![VECTOR, HASHTABLE, STRINGBUFFER, PRINTWRITER, BEANCONTEXT]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certify, find_exploits};
+
+    #[test]
+    fn every_invitation_deadlocks_without_dimmunix() {
+        for w in all() {
+            assert!(
+                !find_exploits(&w, 0..256, 1).is_empty(),
+                "{w:?} must deadlock under some schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_certifies() {
+        let cert = certify(&VECTOR, 20);
+        assert_eq!(cert.completed, cert.trials, "{cert:?}");
+        assert_eq!(cert.patterns, 1);
+    }
+
+    #[test]
+    fn printwriter_certifies() {
+        let cert = certify(&PRINTWRITER, 20);
+        assert_eq!(cert.completed, cert.trials, "{cert:?}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Limewire 4.17.9 bug #1449: HsqlDB `TaskQueue` cancel vs `shutdown()`.
+//!
+//! Limewire embeds HsqlDB; its background `TaskQueue` timer cancels tasks
+//! (task-queue monitor → database monitor) while `Database.shutdown()`
+//! closes the engine (database monitor → task-queue monitor) — through deep
+//! call chains (~10 frames, the deepest patterns in Table 1). Two distinct
+//! cancel paths reach the inversion, hence **two** deadlock patterns of
+//! depth 10, and the paper observes 15 yields per trial (row 8).
+
+use crate::Workload;
+use dimmunix_threadsim::{Script, Sim};
+
+/// Wraps `inner` in `n` nested call frames names[0..n] (outermost first).
+fn deep(names: &[&'static str], inner: Script) -> Script {
+    let mut s = Script::new();
+    for &n in names {
+        s = s.call(n);
+    }
+    s = s.then(inner);
+    for _ in names {
+        s = s.ret();
+    }
+    s
+}
+
+fn build(sim: &mut Sim) {
+    let task_queue = sim.lock_handle("TaskQueue.monitor");
+    let database = sim.lock_handle("Database.monitor");
+
+    // Cancel path 1: the Swing disposer → ... → cancel → database check.
+    // Nine wrapper frames + the lock op ≈ the paper's depth-10 pattern.
+    let cancel_chain_1 = [
+        "Finalizer.run",
+        "LimeWireCore.dispose",
+        "HsqlDBManager.stop",
+        "Timer.cancelAll",
+        "TaskQueue.shutdownImmediately",
+        "TaskQueue.cancelAll",
+        "TaskQueue.cancel",
+        "Task.setCancelledImmediate",
+        "Task.checkDatabase",
+    ];
+    sim.spawn(
+        "canceller-1",
+        deep(
+            &cancel_chain_1,
+            Script::new()
+                .lock_at(task_queue, "TaskQueue.cancel:monitor")
+                .compute(2)
+                .lock_at(database, "Database.isShutdown:monitor")
+                .compute(1)
+                .unlock(database)
+                .unlock(task_queue),
+        ),
+    );
+
+    // Cancel path 2: the periodic timer sweep — same inversion, different
+    // call chain ⇒ a second pattern.
+    let cancel_chain_2 = [
+        "TimerThread.run",
+        "Timer.mainLoop",
+        "TimerTask.fire",
+        "HsqlTimerTask.run",
+        "TaskQueue.sweep",
+        "TaskQueue.expire",
+        "TaskQueue.cancel",
+        "Task.setCancelledSweep",
+        "Task.checkDatabase",
+    ];
+    sim.spawn(
+        "canceller-2",
+        deep(
+            &cancel_chain_2,
+            Script::new()
+                .lock_at(task_queue, "TaskQueue.cancel:monitor")
+                .compute(2)
+                .lock_at(database, "Database.isShutdown:monitor")
+                .compute(1)
+                .unlock(database)
+                .unlock(task_queue),
+        ),
+    );
+
+    // Shutdown: database monitor → task-queue monitor, also via a deep
+    // chain.
+    let shutdown_chain = [
+        "Session.execute",
+        "DatabaseCommandInterpreter.exec",
+        "Database.close",
+        "Database.shutdown",
+        "Logger.closeLog",
+        "Log.shutdown",
+        "HsqlTimer.shutDown",
+        "TaskQueue.signalShutdown",
+        "TaskQueue.park",
+    ];
+    sim.spawn(
+        "shutdown",
+        deep(
+            &shutdown_chain,
+            Script::new()
+                .lock_at(database, "Database.shutdown:monitor")
+                .compute(3)
+                .lock_at(task_queue, "TaskQueue.signalShutdown:monitor")
+                .compute(1)
+                .unlock(task_queue)
+                .unlock(database),
+        ),
+    );
+
+    // Background workers churning the task queue raise the yield count per
+    // trial (the paper sees 15). They run the same deep cancel chain as the
+    // timer sweep, so their encounters match the learned depth-10 patterns.
+    let worker_chain = [
+        "TimerThread.run",
+        "Timer.mainLoop",
+        "TimerTask.fire",
+        "HsqlTimerTask.run",
+        "TaskQueue.sweep",
+        "TaskQueue.expire",
+        "TaskQueue.cancel",
+        "Task.setCancelledSweep",
+        "Task.checkDatabase",
+    ];
+    for name in ["worker-1", "worker-2", "worker-3"] {
+        let inner = deep(
+            &worker_chain,
+            Script::new()
+                .lock_at(task_queue, "TaskQueue.cancel:monitor")
+                .compute(1)
+                .lock_at(database, "Database.isShutdown:monitor")
+                .unlock(database)
+                .unlock(task_queue),
+        );
+        sim.spawn(name, Script::new().repeat(4, inner));
+    }
+}
+
+/// Table 1, row 8.
+pub const WORKLOAD: Workload = Workload {
+    system: "Limewire 4.17.9",
+    bug_id: "1449",
+    description: "HsqlDB TaskQueue cancel and shutdown()",
+    expected_patterns: 2,
+    expected_depths: &[10, 10],
+    build,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certify, find_exploits};
+
+    #[test]
+    fn exploit_exists() {
+        assert!(!find_exploits(&WORKLOAD, 0..256, 1).is_empty());
+    }
+
+    #[test]
+    fn two_deep_patterns_are_learned() {
+        let cert = certify(&WORKLOAD, 10);
+        assert_eq!(cert.completed, cert.trials, "{cert:?}");
+        assert!(
+            cert.patterns >= 2,
+            "both cancel paths must be distinguished: {cert:?}"
+        );
+        // The deepest stacks are ≈10 frames, as in Table 1's Depth column.
+        let max_depth = cert.pattern_depths.iter().copied().max().unwrap_or(0);
+        assert!(max_depth >= 10, "deep call chains: {cert:?}");
+    }
+}

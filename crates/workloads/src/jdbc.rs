@@ -1,0 +1,169 @@
+//! MySQL Connector/J (JDBC) 5.0 deadlocks: bugs #2147, #14972, #31136,
+//! #17709.
+//!
+//! All four are monitor-ordering bugs between a `Connection` object and a
+//! `Statement`/`PreparedStatement` object: one API path synchronizes on the
+//! statement and then calls into the connection (statement → connection),
+//! while `Connection.close()`/`prepareStatement()` holds the connection
+//! monitor and walks its open statements (connection → statement). The four
+//! bugs differ only in which public methods form the two paths — i.e. in
+//! the call stacks — which is exactly what distinguishes their signatures
+//! (Table 1 rows 4–7).
+
+use crate::Workload;
+use dimmunix_threadsim::{Script, Sim};
+
+/// Builds the two-monitor inversion with the given method names, matching
+/// the "Deadlock Between A and B" row.
+fn build_pair(
+    sim: &mut Sim,
+    stmt_path: [&'static str; 2],
+    conn_path: [&'static str; 2],
+) {
+    let connection = sim.lock_handle("Connection.monitor");
+    let statement = sim.lock_handle("Statement.monitor");
+
+    // Application thread: statement method → connection internals.
+    sim.spawn(
+        "app",
+        Script::new().scoped(stmt_path[0], |s| {
+            s.lock_at(statement, stmt_path[0])
+                .compute(3)
+                .scoped(stmt_path[1], |s| {
+                    s.lock_at(connection, stmt_path[1])
+                        .compute(2)
+                        .unlock(connection)
+                })
+                .unlock(statement)
+        }),
+    );
+
+    // Cleanup thread: connection method → statement internals.
+    sim.spawn(
+        "cleanup",
+        Script::new().scoped(conn_path[0], |s| {
+            s.lock_at(connection, conn_path[0])
+                .compute(3)
+                .scoped(conn_path[1], |s| {
+                    s.lock_at(statement, conn_path[1])
+                        .compute(2)
+                        .unlock(statement)
+                })
+                .unlock(connection)
+        }),
+    );
+}
+
+fn build_2147(sim: &mut Sim) {
+    build_pair(
+        sim,
+        ["PreparedStatement.getWarnings", "Connection.getMutex"],
+        ["Connection.close", "Statement.realClose"],
+    );
+}
+
+fn build_14972(sim: &mut Sim) {
+    build_pair(
+        sim,
+        ["Statement.close", "Connection.unregisterStatement"],
+        ["Connection.prepareStatement", "Statement.init"],
+    );
+}
+
+fn build_31136(sim: &mut Sim) {
+    build_pair(
+        sim,
+        ["PreparedStatement.executeQuery", "Connection.execSQL"],
+        ["Connection.close", "PreparedStatement.realClose"],
+    );
+}
+
+fn build_17709(sim: &mut Sim) {
+    build_pair(
+        sim,
+        ["Statement.executeQuery", "Connection.execSQL"],
+        ["Connection.prepareStatement", "Statement.checkClosed"],
+    );
+}
+
+/// Table 1, row 4.
+pub const BUG_2147: Workload = Workload {
+    system: "MySQL 5.0 JDBC",
+    bug_id: "2147",
+    description: "PreparedStatement.getWarnings() and Connection.close()",
+    expected_patterns: 1,
+    expected_depths: &[3],
+    build: build_2147,
+};
+
+/// Table 1, row 5.
+pub const BUG_14972: Workload = Workload {
+    system: "MySQL 5.0 JDBC",
+    bug_id: "14972",
+    description: "Connection.prepareStatement() and Statement.close()",
+    expected_patterns: 1,
+    expected_depths: &[4],
+    build: build_14972,
+};
+
+/// Table 1, row 6.
+pub const BUG_31136: Workload = Workload {
+    system: "MySQL 5.0 JDBC",
+    bug_id: "31136",
+    description: "PreparedStatement.executeQuery() and Connection.close()",
+    expected_patterns: 1,
+    expected_depths: &[3],
+    build: build_31136,
+};
+
+/// Table 1, row 7.
+pub const BUG_17709: Workload = Workload {
+    system: "MySQL 5.0 JDBC",
+    bug_id: "17709",
+    description: "Statement.executeQuery() and Connection.prepareStatement()",
+    expected_patterns: 1,
+    expected_depths: &[3],
+    build: build_17709,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certify, find_exploits};
+
+    #[test]
+    fn all_four_exploits_exist() {
+        for w in [&BUG_2147, &BUG_14972, &BUG_31136, &BUG_17709] {
+            assert!(
+                !find_exploits(w, 0..256, 1).is_empty(),
+                "{w:?} must deadlock"
+            );
+        }
+    }
+
+    #[test]
+    fn bug_2147_certifies_with_single_yield() {
+        let cert = certify(&BUG_2147, 20);
+        assert_eq!(cert.completed, cert.trials, "{cert:?}");
+        assert_eq!(cert.patterns, 1);
+        // Table 1: one yield per trial (min = avg = max = 1); allow a small
+        // margin for re-yields under our scheduler.
+        assert!(cert.yields.0 >= 1, "{cert:?}");
+        assert!(cert.yields.1 <= 3.0, "{cert:?}");
+    }
+
+    #[test]
+    fn signatures_of_different_bugs_are_distinct() {
+        // Learn 2147 and 14972 on one runtime: two distinct signatures.
+        let rt = dimmunix_core::Runtime::new(dimmunix_core::Config::default()).unwrap();
+        for seed in 0..128 {
+            crate::run_once(&rt, &BUG_2147, seed);
+            crate::run_once(&rt, &BUG_14972, seed);
+        }
+        assert_eq!(
+            rt.history().len(),
+            2,
+            "each bug contributes its own pattern"
+        );
+    }
+}

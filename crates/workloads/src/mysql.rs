@@ -1,0 +1,85 @@
+//! MySQL 6.0.4 bug #37080: INSERT and TRUNCATE deadlock.
+//!
+//! In the original server, `TRUNCATE TABLE` takes the global table-cache
+//! mutex `LOCK_open` and then the table's data-lock, while a concurrent
+//! `INSERT` path holds the table's data-lock and then needs `LOCK_open` to
+//! re-open/flush the table — a classic two-mutex inversion between one
+//! global and one per-table lock. One deadlock pattern; the distinguishing
+//! call suffix is ~4 frames deep (Table 1 row 1).
+
+use crate::Workload;
+use dimmunix_threadsim::{Script, Sim};
+
+fn build(sim: &mut Sim) {
+    let lock_open = sim.lock_handle("LOCK_open");
+    let table_lock = sim.lock_handle("table_t1.data_lock");
+
+    // INSERT: ha_write_row holds the table lock, then needs LOCK_open.
+    sim.spawn(
+        "insert",
+        Script::new().scoped("mysql_insert", |s| {
+            s.scoped("open_table", |s| s.compute(2)).scoped(
+                "ha_write_row",
+                |s| {
+                    s.lock_at(table_lock, "ha_write_row:lock_data")
+                        .compute(5)
+                        .scoped("reopen_table_cache", |s| {
+                            s.lock_at(lock_open, "close_cached_tables:LOCK_open")
+                                .compute(2)
+                                .unlock(lock_open)
+                        })
+                        .unlock(table_lock)
+                },
+            )
+        }),
+    );
+
+    // TRUNCATE: takes LOCK_open first, then the table lock.
+    sim.spawn(
+        "truncate",
+        Script::new().scoped("mysql_truncate", |s| {
+            s.lock_at(lock_open, "mysql_truncate:LOCK_open")
+                .compute(5)
+                .scoped("wait_while_table_is_used", |s| {
+                    s.lock_at(table_lock, "wait_while_table_is_used:data_lock")
+                        .compute(2)
+                        .unlock(table_lock)
+                })
+                .unlock(lock_open)
+        }),
+    );
+}
+
+/// Table 1, row 1.
+pub const WORKLOAD: Workload = Workload {
+    system: "MySQL 6.0.4",
+    bug_id: "37080",
+    description: "INSERT and TRUNCATE in two different threads",
+    expected_patterns: 1,
+    expected_depths: &[4],
+    build,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{certify, find_exploits};
+
+    #[test]
+    fn exploit_exists() {
+        assert!(
+            !find_exploits(&WORKLOAD, 0..256, 1).is_empty(),
+            "INSERT/TRUNCATE must deadlock under some schedule"
+        );
+    }
+
+    #[test]
+    fn immunity_certifies() {
+        let cert = certify(&WORKLOAD, 20);
+        assert_eq!(cert.completed, cert.trials, "{cert:?}");
+        assert_eq!(cert.patterns, WORKLOAD.expected_patterns, "{cert:?}");
+        assert!(cert.yields.0 >= 1, "at least one yield per trial: {cert:?}");
+        // The pattern involves two threads.
+        assert_eq!(cert.pattern_sizes, vec![2]);
+    }
+}

@@ -1,0 +1,56 @@
+//! A miniature storage engine with the MySQL #37080 INSERT/TRUNCATE
+//! deadlock, demonstrating the full vendor workflow: reproduce → immunize →
+//! ship the signature file.
+//!
+//! Run with: `cargo run --example storage_engine`
+
+use dimmunix::sim::Outcome;
+use dimmunix::{Config, Runtime};
+use dimmunix_workloads::{self as workloads, mysql};
+
+fn main() {
+    let vaccine_path = std::env::temp_dir().join("mini-mysql.dlk");
+    std::fs::remove_file(&vaccine_path).ok();
+
+    // --- Vendor machine: reproduce the reported bug. ---
+    let vendor = Runtime::new(Config {
+        history_path: Some(vaccine_path.clone()),
+        ..Config::default()
+    })
+    .expect("runtime");
+
+    let exploits = workloads::find_exploits(&mysql::WORKLOAD, 0..512, 1);
+    let seed = exploits[0];
+    println!("bug #37080 reproduced with schedule seed {seed}");
+
+    let report = workloads::run_once(&vendor, &mysql::WORKLOAD, seed);
+    assert!(matches!(report.outcome, Outcome::Deadlock { .. }));
+    vendor.save_history().expect("persist history");
+    println!(
+        "signature captured and saved to {} ({} bytes)",
+        vaccine_path.display(),
+        std::fs::metadata(&vaccine_path).unwrap().len()
+    );
+
+    // Vendor verifies the fix: the same schedule now completes.
+    let report = workloads::run_once(&vendor, &mysql::WORKLOAD, seed);
+    assert_eq!(report.outcome, Outcome::Completed);
+    println!(
+        "vendor verification: schedule {seed} completes with {} yield(s)",
+        report.yields
+    );
+
+    // --- Customer machine: never deadlocked, receives the vaccine. ---
+    let customer = Runtime::new(Config::default()).expect("runtime");
+    assert!(customer.history().is_empty());
+    let added = customer.vaccinate(&vaccine_path).expect("vaccinate");
+    println!("customer vaccinated with {added} signature(s) — no restart needed");
+
+    let report = workloads::run_once(&customer, &mysql::WORKLOAD, seed);
+    assert_eq!(report.outcome, Outcome::Completed);
+    println!(
+        "customer runs the deadlock-prone schedule safely ({} yields)",
+        report.yields
+    );
+    std::fs::remove_file(&vaccine_path).ok();
+}
