@@ -1,0 +1,301 @@
+//! Offline subset of the Criterion benchmarking API. This workspace builds
+//! in environments with no access to crates.io, so the surface the
+//! `dimmunix_bench` benches use — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — is provided here.
+//!
+//! Measurement is deliberately simple: per benchmark it warms up for
+//! `warm_up_time`, then runs timing batches until `measurement_time`
+//! elapses and reports the mean wall-clock time per iteration. There is no
+//! statistical analysis, plotting, or baseline comparison; the point is
+//! that `cargo bench` produces meaningful numbers offline with unchanged
+//! bench sources.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export: benches in this tree use `std::hint::black_box` directly, but
+/// upstream Criterion exposes it too, so keep the path working.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(
+            &id.to_string(),
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the throughput one iteration represents (recorded only).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the number of timing batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function_name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+/// Units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the measurement window.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: also calibrates iterations-per-batch so one batch is neither
+    // a single slow call nor millions of sub-nanosecond ones.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up_time {
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
+        // Grow batches toward ~1/sample of the measurement window.
+        let target = measurement_time / sample_size as u32;
+        let ideal = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        b.iters = ideal.max(1);
+    }
+
+    let mut total_iters: u64 = 0;
+    let mut total_time = Duration::ZERO;
+    let mut samples = 0_usize;
+    let run_start = Instant::now();
+    while samples < sample_size && run_start.elapsed() < measurement_time {
+        f(&mut b);
+        total_iters += b.iters;
+        total_time += b.elapsed;
+        samples += 1;
+    }
+    if total_iters == 0 {
+        // Closure never called `iter`; still report something sane.
+        println!("{label:<48} (no measurement)");
+        return;
+    }
+    let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+    println!(
+        "{label:<48} time: {:>12} /iter  ({} iterations, {} samples)",
+        format_ns(mean_ns),
+        total_iters,
+        samples
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

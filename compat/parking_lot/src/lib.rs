@@ -1,0 +1,370 @@
+//! Offline drop-in subset of the `parking_lot` API, implemented on top of
+//! `std::sync`. This workspace builds in environments with no access to
+//! crates.io, so the handful of `parking_lot` types the Dimmunix crates use
+//! are provided here with identical signatures: non-poisoning [`Mutex`] /
+//! [`RwLock`] / [`Condvar`], and a [`RawMutex`] implementing the
+//! [`lock_api::RawMutex`] / [`lock_api::RawMutexTimed`] traits.
+//!
+//! Semantics match `parking_lot` where the callers depend on them:
+//! panicking while holding a guard does not poison the lock, `Condvar::wait`
+//! takes `&mut MutexGuard`, and `RawMutex` supports `lock`/`unlock` without
+//! a guard object plus timed acquisition.
+
+#![warn(missing_docs)]
+
+pub mod lock_api;
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
+
+/// A mutual exclusion primitive (non-poisoning wrapper over `std::sync::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex in an unlocked state.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can temporarily hand the inner guard back
+    // to `std::sync::Condvar` through a `&mut` borrow.
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A reader-writer lock (non-poisoning wrapper over `std::sync::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// RAII guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock in an unlocked state.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { inner }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { inner }
+    }
+
+    /// Attempts to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] via `&mut` borrows.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified; atomically releases and reacquires the mutex.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
+    /// Blocks until notified or `deadline` is reached.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        if now >= deadline {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        self.wait_for(guard, deadline - now)
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all threads blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A raw mutex: guard-free `lock`/`unlock`, timed acquisition, const init.
+///
+/// Blocking uses an internal `Mutex<()>`/`Condvar` pair rather than spinning,
+/// so threads parked on a contended lock consume no CPU — important here
+/// because deadlock-avoidance tests intentionally park threads for a while.
+#[derive(Debug)]
+pub struct RawMutex {
+    locked: std::sync::atomic::AtomicBool,
+    blocking: StdMutex<()>,
+    cond: StdCondvar,
+}
+
+impl RawMutex {
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange(
+                false,
+                true,
+                std::sync::atomic::Ordering::Acquire,
+                std::sync::atomic::Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+}
+
+impl lock_api::RawMutex for RawMutex {
+    const INIT: Self = Self {
+        locked: std::sync::atomic::AtomicBool::new(false),
+        blocking: StdMutex::new(()),
+        cond: StdCondvar::new(),
+    };
+
+    fn lock(&self) {
+        if self.try_acquire() {
+            return;
+        }
+        let mut g = match self.blocking.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        while !self.try_acquire() {
+            g = match self.cond.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        self.try_acquire()
+    }
+
+    unsafe fn unlock(&self) {
+        self.locked
+            .store(false, std::sync::atomic::Ordering::Release);
+        // Take the blocking lock briefly so a waiter that just failed its
+        // CAS cannot miss this notification.
+        drop(self.blocking.lock());
+        self.cond.notify_one();
+    }
+}
+
+impl lock_api::RawMutexTimed for RawMutex {
+    fn try_lock_for(&self, timeout: Duration) -> bool {
+        self.try_lock_until(Instant::now() + timeout)
+    }
+
+    fn try_lock_until(&self, deadline: Instant) -> bool {
+        if self.try_acquire() {
+            return true;
+        }
+        let mut g = match self.blocking.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if self.try_acquire() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (ng, _res) = match self.cond.wait_timeout(g, deadline - now) {
+                Ok((g, r)) => (g, r),
+                Err(p) => p.into_inner(),
+            };
+            g = ng;
+        }
+    }
+}

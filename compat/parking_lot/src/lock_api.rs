@@ -1,0 +1,33 @@
+//! The subset of the `lock_api` traits that `parking_lot` re-exports and the
+//! Dimmunix crates consume: [`RawMutex`] and [`RawMutexTimed`].
+
+use std::time::{Duration, Instant};
+
+/// A raw mutual-exclusion primitive: guard-free lock/unlock.
+pub trait RawMutex {
+    /// Initial (unlocked) value, usable in `const` and `static` contexts.
+    const INIT: Self;
+
+    /// Acquires the mutex, blocking until it is available.
+    fn lock(&self);
+
+    /// Attempts to acquire the mutex without blocking.
+    fn try_lock(&self) -> bool;
+
+    /// Releases the mutex.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the mutex (acquired via [`RawMutex::lock`] or a
+    /// successful [`RawMutex::try_lock`]).
+    unsafe fn unlock(&self);
+}
+
+/// Extension of [`RawMutex`] with timed acquisition.
+pub trait RawMutexTimed: RawMutex {
+    /// Attempts to acquire the mutex, giving up after `timeout`.
+    fn try_lock_for(&self, timeout: Duration) -> bool;
+
+    /// Attempts to acquire the mutex, giving up at `deadline`.
+    fn try_lock_until(&self, deadline: Instant) -> bool;
+}

@@ -1,0 +1,106 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as a full regex strategy. This stub
+//! supports the subset the test-suites use: one character class with an
+//! optional bounded repetition, e.g. `"[a-z|\\ ]{1,12}"` or `"[abc]"`.
+//! Character classes understand `x-y` ranges and backslash escapes.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// A compiled character-class pattern.
+#[derive(Debug, Clone)]
+pub struct PatternStrategy {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Compiles `pattern` into a string strategy.
+///
+/// Panics on syntax this subset does not understand, so unsupported
+/// patterns fail loudly at test start rather than generating wrong data.
+pub fn pattern(pattern: &str) -> PatternStrategy {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    assert!(
+        chars.first() == Some(&'['),
+        "unsupported pattern {pattern:?}: must start with a character class"
+    );
+    i += 1;
+    let mut alphabet = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `x-y` range (a literal `-` needs escaping or a trailing position).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+            alphabet.extend(c..=hi);
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated character class in pattern {pattern:?}"
+    );
+    i += 1; // Skip ']'.
+    let (min_len, max_len) = if i == chars.len() {
+        (1, 1)
+    } else {
+        assert!(
+            chars[i] == '{' && chars[chars.len() - 1] == '}',
+            "unsupported repetition in pattern {pattern:?}"
+        );
+        let body: String = chars[i + 1..chars.len() - 1].iter().collect();
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad repetition lower bound"),
+                hi.trim().parse().expect("bad repetition upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad repetition count");
+                (n, n)
+            }
+        }
+    };
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    assert!(min_len <= max_len, "inverted repetition in {pattern:?}");
+    PatternStrategy {
+        alphabet,
+        min_len,
+        max_len,
+    }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let n = rng.gen_range(self.min_len..self.max_len + 1);
+        (0..n)
+            .map(|_| self.alphabet[rng.gen_range(0..self.alphabet.len())])
+            .collect()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern(self).generate(rng)
+    }
+}

@@ -1,0 +1,27 @@
+//! The stub must report inputs and case number even when the property body
+//! panics rather than prop_assert-ing.
+
+use proptest::prelude::*;
+
+// Deliberately not `#[test]`: the harness below invokes it and inspects the
+// failure report.
+proptest! {
+    fn panicking_body_is_reported_with_inputs(x in 0_u32..100) {
+        if x >= 1 {
+            panic!("boom on {x}");
+        }
+    }
+}
+
+#[test]
+fn harness() {
+    let err = std::panic::catch_unwind(panicking_body_is_reported_with_inputs)
+        .expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic payload");
+    assert!(
+        msg.contains("panicked: boom on"),
+        "missing body panic: {msg}"
+    );
+    assert!(msg.contains("inputs: x = "), "missing inputs line: {msg}");
+    assert!(msg.contains("failed at case"), "missing case number: {msg}");
+}

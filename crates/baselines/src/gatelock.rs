@@ -63,7 +63,9 @@ impl GateLockTable {
         for (&site, &slot) in &site_slot {
             let rep = uf.find(slot);
             let gate = *rep_to_gate.entry(rep).or_insert_with(|| {
-                gates.push(Arc::new(Gate { raw: RawMutex::INIT }));
+                gates.push(Arc::new(Gate {
+                    raw: RawMutex::INIT,
+                }));
                 gates.len() - 1
             });
             site_to_gate.insert(site, gate);

@@ -52,7 +52,9 @@ impl GhostLockTable {
         for (&l, &slot) in &lock_slot {
             let rep = uf.find(slot);
             let ghost = *rep_to_ghost.entry(rep).or_insert_with(|| {
-                ghosts.push(Arc::new(Ghost { raw: RawMutex::INIT }));
+                ghosts.push(Arc::new(Ghost {
+                    raw: RawMutex::INIT,
+                }));
                 ghosts.len() - 1
             });
             lock_to_ghost.insert(l, ghost);

@@ -19,14 +19,7 @@ fn bench_request_cycle(c: &mut Criterion) {
             .unwrap();
             let pool = build_pool(&MicroParams::default());
             if history_size > 0 {
-                siggen::synthesize_history(
-                    &rt,
-                    &siggen::pool_frames(&pool),
-                    history_size,
-                    2,
-                    5,
-                    4,
-                );
+                siggen::synthesize_history(&rt, &siggen::pool_frames(&pool), history_size, 2, 5, 4);
             }
             let t = rt.core().register_thread().unwrap();
             let l = rt.new_lock_id();

@@ -68,7 +68,13 @@ fn main() {
             t *= 2;
         }
         table(
-            &["Threads", "Base ops/s", "Dimmunix ops/s", "Overhead", "Yields/s"],
+            &[
+                "Threads",
+                "Base ops/s",
+                "Dimmunix ops/s",
+                "Overhead",
+                "Yields/s",
+            ],
             &rows,
         );
     }

@@ -51,10 +51,7 @@ fn main() {
         rows.push(cells);
         h *= 2;
     }
-    table(
-        &["Signatures", "ops/s (depth 4)", "ops/s (depth 8)"],
-        &rows,
-    );
+    table(&["Signatures", "ops/s (depth 4)", "ops/s (depth 8)"], &rows);
     println!(
         "\nPaper shape: both series flat across history sizes and within noise of each other."
     );

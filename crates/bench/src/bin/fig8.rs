@@ -30,9 +30,9 @@ fn main() {
         },
     );
 
-    banner(&format!(
-        "Figure 8: overhead breakdown, RAII flavour, 64 sigs siglen 2, 8 locks, din=1us dout=1ms"
-    ));
+    banner(
+        "Figure 8: overhead breakdown, RAII flavour, 64 sigs siglen 2, 8 locks, din=1us dout=1ms",
+    );
     let mut rows = Vec::new();
     let mut t = 8_u64;
     while t <= max_threads {

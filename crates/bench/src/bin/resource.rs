@@ -65,7 +65,12 @@ fn main() {
         }
     }
     table(
-        &["Locks", "Threads", "Dimmunix memory [MiB]", "Monitor passes"],
+        &[
+            "Locks",
+            "Threads",
+            "Dimmunix memory [MiB]",
+            "Monitor passes",
+        ],
         &rows,
     );
     println!(

@@ -29,10 +29,7 @@ const CONNECTIONS: usize = 8;
 /// real application (see `rubis::call_paths`): 512 paths.
 pub fn call_paths() -> Vec<FramePath> {
     let mut paths = Vec::new();
-    for (op, line) in [
-        ("JDBCBench.doTxn", 200),
-        ("JDBCBench.doQuery", 400),
-    ] {
+    for (op, line) in [("JDBCBench.doTxn", 200), ("JDBCBench.doQuery", 400)] {
         for call_site in 0..64_u32 {
             for (inner, iline) in [
                 ("Connection.execSQL", 21),
@@ -117,7 +114,7 @@ pub fn run_jdbcbench(params: &MacroParams, engine: &Engine) -> MacroReport {
         let start = Arc::clone(&start);
         let requests = Arc::clone(&requests);
         let lock_ops = Arc::clone(&lock_ops);
-        let seed = params.seed ^ (worker as u64).wrapping_mul(0x51_7C_C1B7);
+        let seed = params.seed ^ (worker as u64).wrapping_mul(0x517C_C1B7);
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut reqs = 0_u64;

@@ -62,11 +62,7 @@ impl PoolPath {
                 if lvl == 1_000 {
                     ("lockSite", "micro.rs", choice)
                 } else {
-                    (
-                        LEVEL_NAMES[choice as usize],
-                        "micro.rs",
-                        lvl * 100 + choice,
-                    )
+                    (LEVEL_NAMES[choice as usize], "micro.rs", lvl * 100 + choice)
                 }
             })
             .collect()
@@ -302,7 +298,8 @@ pub fn run_micro(params: &MicroParams, engine: &Engine) -> MicroReport {
                         // Both statements share one source line so the
                         // captured `#[track_caller]` location equals the
                         // published `raii_lock_site()` (used by siggen).
-                        RAII_SITE.get_or_init(|| (file!(), line!())); let g = v[lock_i].lock();
+                        RAII_SITE.get_or_init(|| (file!(), line!()));
+                        let g = v[lock_i].lock();
                         spin_for(p.delta_in_us);
                         drop(g);
                         drop(guards);

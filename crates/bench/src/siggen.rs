@@ -22,7 +22,10 @@ pub fn pool_frames(pool: &[PoolPath]) -> Vec<FramePath> {
 /// Appends an extra innermost frame to every path (used to model the RAII
 /// flavour, where the mutex's `#[track_caller]` lock site terminates every
 /// captured stack).
-pub fn with_lock_frame(paths: &[FramePath], site: (&'static str, &'static str, u32)) -> Vec<FramePath> {
+pub fn with_lock_frame(
+    paths: &[FramePath],
+    site: (&'static str, &'static str, u32),
+) -> Vec<FramePath> {
     paths
         .iter()
         .map(|p| {
@@ -118,10 +121,7 @@ mod tests {
     fn deduplicates_collisions() {
         let rt = Runtime::new(Config::default()).unwrap();
         // Tiny path alphabet: collisions certain; count still honest.
-        let paths: Vec<FramePath> = vec![
-            vec![("a", "x.rs", 1)],
-            vec![("b", "x.rs", 2)],
-        ];
+        let paths: Vec<FramePath> = vec![vec![("a", "x.rs", 1)], vec![("b", "x.rs", 2)]];
         let n = synthesize_history(&rt, &paths, 10, 2, 1, 4);
         assert_eq!(n, rt.history().len());
         assert!(n <= 4, "only 4 distinct pairs exist, got {n}");

@@ -320,12 +320,7 @@ impl AvoidanceCore {
                 });
                 inst.sig.record_avoided();
                 Stats::bump(&self.stats.yields);
-                self.queue.push(Event::Yield {
-                    t,
-                    l,
-                    stack,
-                    info,
-                });
+                self.queue.push(Event::Yield { t, l, stack, info });
                 if self.config.enforce_yields {
                     let mut ys = self.slots[slot].yield_state.lock();
                     ys.causes = inst.causes;
@@ -480,8 +475,8 @@ impl AvoidanceCore {
     /// Approximate heap footprint of the avoidance state, in bytes (§7.4).
     pub fn approx_bytes(&self) -> usize {
         self.state.with(self.slots.len(), |state| {
-            let entry_sz = core::mem::size_of::<(ThreadId, LockId)>()
-                + core::mem::size_of::<Vec<StackId>>();
+            let entry_sz =
+                core::mem::size_of::<(ThreadId, LockId)>() + core::mem::size_of::<Vec<StackId>>();
             let mut total = state.entries.len() * entry_sz
                 + state
                     .entries
@@ -520,7 +515,9 @@ impl AvoidanceCore {
             .entries
             .iter()
             .flat_map(|(&(t, l), stacks)| {
-                stacks.iter().map(move |&stack| AllowedEntry { t, l, stack })
+                stacks
+                    .iter()
+                    .map(move |&stack| AllowedEntry { t, l, stack })
             })
             .collect();
         for e in entries {
@@ -545,7 +542,13 @@ impl AvoidanceCore {
         }
     }
 
-    fn add_entry(state: &mut CoreState, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+    fn add_entry(
+        state: &mut CoreState,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) {
         state.entries.entry((t, l)).or_default().push(stack);
         Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
     }
@@ -679,9 +682,8 @@ impl AvoidanceCore {
             return false;
         };
         for e in candidates {
-            let distinct = e.t != t
-                && e.l != l
-                && chosen.iter().all(|&(ct, cl, _, _)| ct != e.t && cl != e.l);
+            let distinct =
+                e.t != t && e.l != l && chosen.iter().all(|&(ct, cl, _, _)| ct != e.t && cl != e.l);
             if !distinct {
                 continue;
             }

@@ -25,6 +25,9 @@ use dimmunix_signature::{
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// Callback invoked with a detected cycle's signature and participants.
+pub type CycleHook = Box<dyn Fn(&Arc<Signature>, &[ThreadId]) + Send + Sync>;
+
 /// Callbacks invoked by the monitor on notable occurrences.
 ///
 /// The deadlock hook is the paper's "application-specific deadlock
@@ -34,9 +37,9 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct Hooks {
     /// Called after a deadlock cycle was detected and its signature saved.
-    pub on_deadlock: Option<Box<dyn Fn(&Arc<Signature>, &[ThreadId]) + Send + Sync>>,
+    pub on_deadlock: Option<CycleHook>,
     /// Called after an induced-starvation cycle was detected and saved.
-    pub on_starvation: Option<Box<dyn Fn(&Arc<Signature>, &[ThreadId]) + Send + Sync>>,
+    pub on_starvation: Option<CycleHook>,
     /// Called under strong immunity whenever starvation is encountered: the
     /// program should restart.
     pub on_restart_required: Option<Box<dyn Fn() + Send + Sync>>,
@@ -369,7 +372,10 @@ impl Monitor {
     /// Saves (or finds) the signature for a detected cycle and starts its
     /// calibration when enabled.
     fn save_signature(&mut self, kind: CycleKind, labels: Vec<StackId>) -> Arc<Signature> {
-        if let Some(sig) = self.history.add(kind, labels.clone(), self.config.default_depth) {
+        if let Some(sig) = self
+            .history
+            .add(kind, labels.clone(), self.config.default_depth)
+        {
             Stats::bump(&self.stats.signatures_added);
             if let Some(cal_cfg) = &self.config.calibration {
                 let start_depth = sig.calibration().start(cal_cfg);

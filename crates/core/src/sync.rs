@@ -211,11 +211,14 @@ impl<T: ?Sized> ImmunizedMutex<T> {
         let site = Location::caller();
         let deadline = std::time::Instant::now() + timeout;
         let Some(t) = self.runtime.current_thread() else {
-            return self.raw.try_lock_for(timeout).then_some(ImmunizedMutexGuard {
-                lock: self,
-                tid: None,
-                _not_send: PhantomData,
-            });
+            return self
+                .raw
+                .try_lock_for(timeout)
+                .then_some(ImmunizedMutexGuard {
+                    lock: self,
+                    tid: None,
+                    _not_send: PhantomData,
+                });
         };
         let frames = context::capture(self.runtime.frame_table(), site);
         let stack = self.runtime.core().intern_stack(&frames);
@@ -246,7 +249,10 @@ impl<T: ?Sized> ImmunizedMutex<T> {
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for ImmunizedMutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.try_lock() {
-            Some(g) => f.debug_struct("ImmunizedMutex").field("data", &&*g).finish(),
+            Some(g) => f
+                .debug_struct("ImmunizedMutex")
+                .field("data", &&*g)
+                .finish(),
             None => f.write_str("ImmunizedMutex { <locked> }"),
         }
     }

@@ -67,7 +67,10 @@ fn replay(rt: &Runtime, ops: &[Op]) -> Vec<bool> {
                     continue;
                 }
                 let site = &sites[path as usize];
-                match rt.core().request(tids[ti], locks[li], site.frames(), site.stack()) {
+                match rt
+                    .core()
+                    .request(tids[ti], locks[li], site.frames(), site.stack())
+                {
                     Decision::Go => {
                         decisions.push(true);
                         rt.core().acquired(tids[ti], locks[li], site.stack());

@@ -180,7 +180,9 @@ impl<T> Drop for MpscQueue<T> {
 
 impl<T> fmt::Debug for MpscQueue<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MpscQueue").field("len", &self.len()).finish()
+        f.debug_struct("MpscQueue")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -248,7 +250,7 @@ mod tests {
                 }
             }));
         }
-        let mut last_seen = vec![None::<usize>; PRODUCERS];
+        let mut last_seen = [None::<usize>; PRODUCERS];
         let mut total = 0;
         while total < PRODUCERS * PER_PRODUCER {
             if let Some((p, i)) = q.pop() {

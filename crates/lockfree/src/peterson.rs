@@ -101,8 +101,8 @@ impl FilterLock {
                 if !victim_is_me {
                     break;
                 }
-                let exists_higher = (0..self.n)
-                    .any(|k| k != slot && self.level[k].load(Ordering::SeqCst) >= l);
+                let exists_higher =
+                    (0..self.n).any(|k| k != slot && self.level[k].load(Ordering::SeqCst) >= l);
                 if !exists_higher {
                     break;
                 }

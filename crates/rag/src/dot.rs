@@ -45,7 +45,8 @@ pub fn to_dot(rag: &Rag) -> String {
             let _ = writeln!(
                 out.borrow_mut(),
                 "  {t} -> {} [label=\"yield {:?}\", style=dashed];",
-                cause.thread, cause.stack
+                cause.thread,
+                cause.stack
             );
         },
     );

@@ -346,17 +346,14 @@ impl Rag {
                 node.yields.iter().any(|c| {
                     let cause_live = !stuck.contains(&c.thread);
                     let cause_gone = !self.threads.contains_key(&c.thread);
-                    let lock_released = !self
-                        .locks
-                        .get(&c.lock)
-                        .is_some_and(|l| {
-                            l.holders.iter().any(|&(h, _)| h == c.thread)
-                                || self
-                                    .threads
-                                    .get(&c.thread)
-                                    .and_then(|n| n.waiting)
-                                    .is_some_and(|w| w.lock == c.lock && w.kind == WaitKind::Allow)
-                        });
+                    let lock_released = !self.locks.get(&c.lock).is_some_and(|l| {
+                        l.holders.iter().any(|&(h, _)| h == c.thread)
+                            || self
+                                .threads
+                                .get(&c.thread)
+                                .and_then(|n| n.waiting)
+                                .is_some_and(|w| w.lock == c.lock && w.kind == WaitKind::Allow)
+                    });
                     cause_live || cause_gone || lock_released
                 })
             } else if let Some(w) = node.waiting {

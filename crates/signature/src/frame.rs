@@ -93,9 +93,8 @@ impl FrameTable {
         if let Some(&id) = inner.by_frame.get(&frame) {
             return id;
         }
-        let id = FrameId(
-            u32::try_from(inner.frames.len()).expect("more than u32::MAX distinct frames"),
-        );
+        let id =
+            FrameId(u32::try_from(inner.frames.len()).expect("more than u32::MAX distinct frames"));
         inner.frames.push(frame.clone());
         inner.by_frame.insert(frame, id);
         id
@@ -134,7 +133,9 @@ impl FrameTable {
 
 impl fmt::Debug for FrameTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FrameTable").field("len", &self.len()).finish()
+        f.debug_struct("FrameTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -186,8 +187,7 @@ mod tests {
                 })
             })
             .collect();
-        let results: Vec<Vec<FrameId>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<FrameId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(t.len(), 10);
         for r in &results[1..] {
             assert_eq!(r, &results[0]);

@@ -585,9 +585,7 @@ mod tests {
         sig.record_avoided();
         sig.record_avoided();
         sig.record_abort();
-        let starv = h
-            .add(CycleKind::Starvation, vec![s1, s1, s2], 2)
-            .unwrap();
+        let starv = h.add(CycleKind::Starvation, vec![s1, s1, s2], 2).unwrap();
         starv.set_disabled(true);
         h.save_to(&path, &env.frames, &env.stacks).unwrap();
 
@@ -619,7 +617,11 @@ mod tests {
         let path = dir.join("merge.dlk");
 
         let h = History::new();
-        h.add(CycleKind::Deadlock, vec![env.stack(&[1, 2]), env.stack(&[2, 1])], 4);
+        h.add(
+            CycleKind::Deadlock,
+            vec![env.stack(&[1, 2]), env.stack(&[2, 1])],
+            4,
+        );
         h.save_to(&path, &env.frames, &env.stacks).unwrap();
 
         // Merging the same file back adds nothing.

@@ -17,6 +17,12 @@ use crate::stack::{suffix_of, StackTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Index key: a matching depth and a depth-truncated stack suffix.
+type SuffixKey = (u8, Box<[FrameId]>);
+/// Signature members carrying a given suffix; the index is the member's
+/// position within `signature.stacks`.
+type Members = Vec<(Arc<Signature>, usize)>;
+
 /// Immutable index over one history generation.
 ///
 /// Rebuild (cheaply) whenever [`History::generation`] moves — membership or
@@ -30,7 +36,7 @@ pub struct MatchIndex {
     /// `(depth, suffix)` → signature members whose stack has that suffix at
     /// that depth. The member index is the position within
     /// `signature.stacks`.
-    by_suffix: HashMap<(u8, Box<[FrameId]>), Vec<(Arc<Signature>, usize)>>,
+    by_suffix: HashMap<SuffixKey, Members>,
 }
 
 impl MatchIndex {
@@ -39,8 +45,7 @@ impl MatchIndex {
         let generation = history.generation();
         let snapshot = history.snapshot();
         let mut depths = Vec::new();
-        let mut by_suffix: HashMap<(u8, Box<[FrameId]>), Vec<(Arc<Signature>, usize)>> =
-            HashMap::new();
+        let mut by_suffix: HashMap<SuffixKey, Members> = HashMap::new();
         for sig in snapshot.iter() {
             if sig.is_disabled() {
                 continue;
@@ -129,7 +134,10 @@ mod tests {
         }
 
         fn frames_of(&self, lines: &[u32]) -> Vec<FrameId> {
-            lines.iter().map(|&l| self.frames.intern("f", "x.rs", l)).collect()
+            lines
+                .iter()
+                .map(|&l| self.frames.intern("f", "x.rs", l))
+                .collect()
         }
     }
 
@@ -182,10 +190,16 @@ mod tests {
     #[test]
     fn mixed_depths_are_all_queried() {
         let env = Env::new();
-        let shallow = env.history
-            .add(CycleKind::Deadlock, vec![env.stack(&[1, 6]), env.stack(&[2, 6])], 1)
+        let shallow = env
+            .history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[1, 6]), env.stack(&[2, 6])],
+                1,
+            )
             .unwrap();
-        let deep = env.history
+        let deep = env
+            .history
             .add(
                 CycleKind::Deadlock,
                 vec![env.stack(&[1, 2, 3, 6]), env.stack(&[4, 5, 6, 6])],

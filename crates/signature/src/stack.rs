@@ -91,9 +91,8 @@ impl StackTable {
             return id;
         }
         let stack: CallStack = frames.into();
-        let id = StackId(
-            u32::try_from(inner.stacks.len()).expect("more than u32::MAX distinct stacks"),
-        );
+        let id =
+            StackId(u32::try_from(inner.stacks.len()).expect("more than u32::MAX distinct stacks"));
         inner.stacks.push(Arc::clone(&stack));
         inner.by_stack.insert(stack, id);
         id
@@ -145,7 +144,9 @@ impl StackTable {
 
 impl fmt::Debug for StackTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StackTable").field("len", &self.len()).finish()
+        f.debug_struct("StackTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -2,8 +2,8 @@
 //! calibration.
 
 use dimmunix_signature::{
-    suffix_matches, suffix_of, CalibrationConfig, CalibrationState, CalibrationUpdate,
-    CycleKind, FrameId, FrameTable, History, Phase, StackTable,
+    suffix_matches, suffix_of, CalibrationConfig, CalibrationState, CalibrationUpdate, CycleKind,
+    FrameId, FrameTable, History, Phase, StackTable,
 };
 use proptest::prelude::*;
 

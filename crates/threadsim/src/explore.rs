@@ -39,7 +39,10 @@ impl ExploreReport {
 /// The scenario closure builds and runs a [`crate::Sim`] (typically against
 /// a shared runtime, so immunity accumulates — pass a fresh runtime per
 /// seed to measure the *buggy* baseline instead).
-pub fn explore(seeds: impl IntoIterator<Item = u64>, mut scenario: impl FnMut(u64) -> RunReport) -> ExploreReport {
+pub fn explore(
+    seeds: impl IntoIterator<Item = u64>,
+    mut scenario: impl FnMut(u64) -> RunReport,
+) -> ExploreReport {
     let mut report = ExploreReport::default();
     for seed in seeds {
         let run = scenario(seed);

@@ -1,8 +1,8 @@
 //! The cooperative scheduler.
 
 use crate::script::{Op, Script};
-use dimmunix_core::{Decision, Runtime, Signature, StatsSnapshot};
 use dimmunix_core::ThreadId;
+use dimmunix_core::{Decision, Runtime, Signature, StatsSnapshot};
 use dimmunix_signature::{FrameId, StackId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -235,7 +235,9 @@ impl Sim {
                 .expect("yielding thread has a pending request");
             if self.rt.core().take_broken(tid) {
                 // Monitor broke the starvation: pursue the lock directly.
-                self.rt.core().force_go(tid, self.locks[lock].id, &frames, stack);
+                self.rt
+                    .core()
+                    .force_go(tid, self.locks[lock].id, &frames, stack);
                 self.threads[v].yield_sig = None;
                 self.threads[v].woken = false;
                 self.attempt_acquire(v, lock, stack);
@@ -249,7 +251,9 @@ impl Sim {
                 if let Some(sig) = self.threads[v].yield_sig.take() {
                     crate::sim::record_abort(&self.rt, &sig);
                 }
-                self.rt.core().force_go(tid, self.locks[lock].id, &frames, stack);
+                self.rt
+                    .core()
+                    .force_go(tid, self.locks[lock].id, &frames, stack);
                 self.threads[v].woken = false;
                 self.attempt_acquire(v, lock, stack);
                 return;
@@ -258,7 +262,11 @@ impl Sim {
                 return;
             }
             self.threads[v].woken = false;
-            match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+            match self
+                .rt
+                .core()
+                .request(tid, self.locks[lock].id, &frames, stack)
+            {
                 Decision::Go => {
                     self.threads[v].yield_sig = None;
                     self.attempt_acquire(v, lock, stack);
@@ -292,7 +300,11 @@ impl Sim {
             Op::Lock(LockHandle(lock), site) => {
                 let (frames, stack) = self.lock_stack(v, site);
                 let tid = self.threads[v].tid;
-                match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+                match self
+                    .rt
+                    .core()
+                    .request(tid, self.locks[lock].id, &frames, stack)
+                {
                     Decision::Go => self.attempt_acquire(v, lock, stack),
                     Decision::Yield { sig } => {
                         self.threads[v].state = VState::Yielding(lock);
@@ -306,7 +318,11 @@ impl Sim {
             Op::TryLock(LockHandle(lock), site) => {
                 let (frames, stack) = self.lock_stack(v, site);
                 let tid = self.threads[v].tid;
-                match self.rt.core().request(tid, self.locks[lock].id, &frames, stack) {
+                match self
+                    .rt
+                    .core()
+                    .request(tid, self.locks[lock].id, &frames, stack)
+                {
                     Decision::Go => {
                         if self.locks[lock].owner.is_none() {
                             self.grant(v, lock, stack);

@@ -10,23 +10,22 @@ fn abba_sim(rt: &Runtime, seed: u64) -> Sim {
     let b = sim.lock_handle("B");
     sim.spawn(
         "T1",
-        Script::new().scoped("update", |s| s.lock(a).compute(5).lock(b).unlock(b).unlock(a)),
+        Script::new().scoped("update", |s| {
+            s.lock(a).compute(5).lock(b).unlock(b).unlock(a)
+        }),
     );
     sim.spawn(
         "T2",
-        Script::new().scoped("update", |s| s.lock(b).compute(5).lock(a).unlock(a).unlock(b)),
+        Script::new().scoped("update", |s| {
+            s.lock(b).compute(5).lock(a).unlock(a).unlock(b)
+        }),
     );
     sim
 }
 
 fn find_deadlock_seed(rt: &Runtime) -> u64 {
     (0..256)
-        .find(|&s| {
-            matches!(
-                abba_sim(rt, s).run().outcome,
-                Outcome::Deadlock { .. }
-            )
-        })
+        .find(|&s| matches!(abba_sim(rt, s).run().outcome, Outcome::Deadlock { .. }))
         .expect("ABBA must deadlock under some schedule")
 }
 
@@ -166,7 +165,8 @@ fn trylock_fallback_never_deadlocks() {
 #[test]
 fn signatures_survive_simulated_restart() {
     // Two runtimes sharing one history file model two program executions.
-    let path = std::env::temp_dir().join(format!("dimmunix-sim-restart-{}.dlk", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("dimmunix-sim-restart-{}.dlk", std::process::id()));
     std::fs::remove_file(&path).ok();
     let seed;
     {
@@ -186,7 +186,11 @@ fn signatures_survive_simulated_restart() {
         .unwrap();
         assert_eq!(rt.history().len(), 1, "history loaded at startup");
         let report = abba_sim(&rt, seed).run();
-        assert!(report.completed(), "immune after restart: {:?}", report.outcome);
+        assert!(
+            report.completed(),
+            "immune after restart: {:?}",
+            report.outcome
+        );
     }
     std::fs::remove_file(&path).ok();
 }
@@ -211,12 +215,7 @@ fn starvation_is_broken_not_fatal() {
         let a = sim.lock_handle("A");
         let b = sim.lock_handle("B");
         let c = sim.lock_handle("C");
-        for (name, first, second) in [
-            ("T1", a, b),
-            ("T2", b, a),
-            ("T3", b, c),
-            ("T4", c, a),
-        ] {
+        for (name, first, second) in [("T1", a, b), ("T2", b, a), ("T3", b, c), ("T4", c, a)] {
             sim.spawn(
                 name,
                 Script::new().scoped("mix", |s| {

@@ -67,7 +67,10 @@ fn build_575(sim: &mut Sim) {
     let drop_paths: [(&'static str, &'static str); 3] = [
         ("Queue.dropEvent", "Queue.dropEvent:monitor"),
         ("Queue.messageExpired", "Queue.messageExpired:monitor"),
-        ("Queue.removeSubscription", "Queue.removeSubscription:monitor"),
+        (
+            "Queue.removeSubscription",
+            "Queue.removeSubscription:monitor",
+        ),
     ];
     static DROPPER_NAMES: [&str; 3] = ["dropper-0", "dropper-1", "dropper-2"];
     for (i, (scope, site)) in drop_paths.into_iter().enumerate() {

@@ -35,11 +35,23 @@ fn build_vector(sim: &mut Sim) {
     let v2 = sim.lock_handle("Vector v2.monitor");
     sim.spawn(
         "adder-1",
-        sync_method(v1, v2, "Vector.addAll", "Vector.addAll:this", "Vector.toArray:other"),
+        sync_method(
+            v1,
+            v2,
+            "Vector.addAll",
+            "Vector.addAll:this",
+            "Vector.toArray:other",
+        ),
     );
     sim.spawn(
         "adder-2",
-        sync_method(v2, v1, "Vector.addAll", "Vector.addAll:this", "Vector.toArray:other"),
+        sync_method(
+            v2,
+            v1,
+            "Vector.addAll",
+            "Vector.addAll:this",
+            "Vector.toArray:other",
+        ),
     );
 }
 
@@ -48,11 +60,23 @@ fn build_hashtable(sim: &mut Sim) {
     let h2 = sim.lock_handle("Hashtable h2.monitor");
     sim.spawn(
         "equals-1",
-        sync_method(h1, h2, "Hashtable.equals", "Hashtable.equals:this", "Hashtable.get:member"),
+        sync_method(
+            h1,
+            h2,
+            "Hashtable.equals",
+            "Hashtable.equals:this",
+            "Hashtable.get:member",
+        ),
     );
     sim.spawn(
         "equals-2",
-        sync_method(h2, h1, "Hashtable.equals", "Hashtable.equals:this", "Hashtable.get:member"),
+        sync_method(
+            h2,
+            h1,
+            "Hashtable.equals",
+            "Hashtable.equals:this",
+            "Hashtable.get:member",
+        ),
     );
 }
 
@@ -61,11 +85,23 @@ fn build_stringbuffer(sim: &mut Sim) {
     let s2 = sim.lock_handle("StringBuffer s2.monitor");
     sim.spawn(
         "append-1",
-        sync_method(s1, s2, "StringBuffer.append", "StringBuffer.append:this", "StringBuffer.getChars:other"),
+        sync_method(
+            s1,
+            s2,
+            "StringBuffer.append",
+            "StringBuffer.append:this",
+            "StringBuffer.getChars:other",
+        ),
     );
     sim.spawn(
         "append-2",
-        sync_method(s2, s1, "StringBuffer.append", "StringBuffer.append:this", "StringBuffer.getChars:other"),
+        sync_method(
+            s2,
+            s1,
+            "StringBuffer.append",
+            "StringBuffer.append:this",
+            "StringBuffer.getChars:other",
+        ),
     );
 }
 
@@ -75,12 +111,24 @@ fn build_printwriter(sim: &mut Sim) {
     // w.write(): PrintWriter.lock → CharArrayWriter.lock (flush into it).
     sim.spawn(
         "writer",
-        sync_method(writer, caw, "PrintWriter.write", "PrintWriter.write:lock", "CharArrayWriter.write:lock"),
+        sync_method(
+            writer,
+            caw,
+            "PrintWriter.write",
+            "PrintWriter.write:lock",
+            "CharArrayWriter.write:lock",
+        ),
     );
     // caw.writeTo(w): CharArrayWriter.lock → PrintWriter.lock.
     sim.spawn(
         "drainer",
-        sync_method(caw, writer, "CharArrayWriter.writeTo", "CharArrayWriter.writeTo:lock", "PrintWriter.write:lock"),
+        sync_method(
+            caw,
+            writer,
+            "CharArrayWriter.writeTo",
+            "CharArrayWriter.writeTo:lock",
+            "PrintWriter.write:lock",
+        ),
     );
 }
 
@@ -89,11 +137,23 @@ fn build_beancontext(sim: &mut Sim) {
     let child = sim.lock_handle("BeanContextChild.monitor");
     sim.spawn(
         "property-change",
-        sync_method(child, context, "BeanContextSupport.propertyChange", "propertyChange:child", "BeanContext.validate:context"),
+        sync_method(
+            child,
+            context,
+            "BeanContextSupport.propertyChange",
+            "propertyChange:child",
+            "BeanContext.validate:context",
+        ),
     );
     sim.spawn(
         "remove",
-        sync_method(context, child, "BeanContextSupport.remove", "remove:context", "Child.setBeanContext:child"),
+        sync_method(
+            context,
+            child,
+            "BeanContextSupport.remove",
+            "remove:context",
+            "Child.setBeanContext:child",
+        ),
     );
 }
 
@@ -111,7 +171,8 @@ pub const VECTOR: Workload = Workload {
 pub const HASHTABLE: Workload = Workload {
     system: "Java JDK 1.6",
     bug_id: "Hashtable",
-    description: "With h1 a member of h2 and vice versa, concurrently call h1.equals(foo) and h2.equals(bar)",
+    description:
+        "With h1 a member of h2 and vice versa, concurrently call h1.equals(foo) and h2.equals(bar)",
     expected_patterns: 1,
     expected_depths: &[2],
     build: build_hashtable,

@@ -19,7 +19,9 @@ fn build(sim: &mut Sim) {
     let sockets: Vec<_> = (0..CLOSERS).map(|_| sim.lock_handle("socket")).collect();
 
     // nlShutdown: global lock, then every socket in turn.
-    let mut shutdown = Script::new().call("nlShutdown").lock_at(global, "nlShutdown:nlLock");
+    let mut shutdown = Script::new()
+        .call("nlShutdown")
+        .lock_at(global, "nlShutdown:nlLock");
     for &s in &sockets {
         shutdown = shutdown
             .lock_at(s, "nlShutdown:sock_close")

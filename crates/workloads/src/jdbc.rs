@@ -15,11 +15,7 @@ use dimmunix_threadsim::{Script, Sim};
 
 /// Builds the two-monitor inversion with the given method names, matching
 /// the "Deadlock Between A and B" row.
-fn build_pair(
-    sim: &mut Sim,
-    stmt_path: [&'static str; 2],
-    conn_path: [&'static str; 2],
-) {
+fn build_pair(sim: &mut Sim, stmt_path: [&'static str; 2], conn_path: [&'static str; 2]) {
     let connection = sim.lock_handle("Connection.monitor");
     let statement = sim.lock_handle("Statement.monitor");
 

@@ -18,9 +18,8 @@ fn build(sim: &mut Sim) {
     sim.spawn(
         "insert",
         Script::new().scoped("mysql_insert", |s| {
-            s.scoped("open_table", |s| s.compute(2)).scoped(
-                "ha_write_row",
-                |s| {
+            s.scoped("open_table", |s| s.compute(2))
+                .scoped("ha_write_row", |s| {
                     s.lock_at(table_lock, "ha_write_row:lock_data")
                         .compute(5)
                         .scoped("reopen_table_cache", |s| {
@@ -29,8 +28,7 @@ fn build(sim: &mut Sim) {
                                 .unlock(lock_open)
                         })
                         .unlock(table_lock)
-                },
-            )
+                })
         }),
     );
 

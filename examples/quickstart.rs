@@ -17,11 +17,15 @@ fn scenario(rt: &Runtime, seed: u64) -> dimmunix::sim::RunReport {
     // s1: update(A, B)        s2: update(B, A)
     sim.spawn(
         "T1",
-        Script::new().scoped("update", |s| s.lock(a).compute(3).lock(b).unlock(b).unlock(a)),
+        Script::new().scoped("update", |s| {
+            s.lock(a).compute(3).lock(b).unlock(b).unlock(a)
+        }),
     );
     sim.spawn(
         "T2",
-        Script::new().scoped("update", |s| s.lock(b).compute(3).lock(a).unlock(a).unlock(b)),
+        Script::new().scoped("update", |s| {
+            s.lock(b).compute(3).lock(a).unlock(a).unlock(b)
+        }),
     );
     sim.run()
 }

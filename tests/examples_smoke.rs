@@ -1,0 +1,60 @@
+//! Smoke test: all five examples build, and `quickstart` runs end-to-end
+//! in a child process with exit code 0.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Builds every example with `cargo build --examples` and returns the
+/// directory holding the produced binaries.
+///
+/// A dedicated target dir keeps the nested cargo invocation from contending
+/// for the parent `cargo test`'s build lock.
+fn build_examples() -> PathBuf {
+    let target_dir = repo_root().join("target").join("examples-smoke");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .args(["build", "--examples"])
+        .current_dir(repo_root())
+        .env("CARGO_TARGET_DIR", &target_dir)
+        .status()
+        .expect("failed to spawn cargo build --examples");
+    assert!(status.success(), "cargo build --examples failed: {status}");
+    target_dir.join("debug").join("examples")
+}
+
+fn assert_binary(dir: &Path, name: &str) -> PathBuf {
+    let bin = dir.join(name);
+    assert!(bin.is_file(), "example binary missing: {}", bin.display());
+    bin
+}
+
+#[test]
+fn examples_build_and_quickstart_runs() {
+    let bin_dir = build_examples();
+    for name in [
+        "bank_transfer",
+        "message_broker",
+        "quickstart",
+        "rag_inspector",
+        "storage_engine",
+    ] {
+        assert_binary(&bin_dir, name);
+    }
+
+    let quickstart = bin_dir.join("quickstart");
+    let output = Command::new(&quickstart)
+        .current_dir(repo_root())
+        .output()
+        .expect("failed to run quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {}\nstdout:\n{}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

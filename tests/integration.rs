@@ -89,13 +89,21 @@ fn sim_and_real_threads_share_one_runtime() {
         let b = sim.lock_handle("B");
         sim.spawn(
             "S1",
-            Script::new().lock_at(a, "site-first").compute(3).lock_at(b, "site-second")
-                .unlock(b).unlock(a),
+            Script::new()
+                .lock_at(a, "site-first")
+                .compute(3)
+                .lock_at(b, "site-second")
+                .unlock(b)
+                .unlock(a),
         );
         sim.spawn(
             "S2",
-            Script::new().lock_at(b, "site-first").compute(3).lock_at(a, "site-second")
-                .unlock(a).unlock(b),
+            Script::new()
+                .lock_at(b, "site-first")
+                .compute(3)
+                .lock_at(a, "site-second")
+                .unlock(a)
+                .unlock(b),
         );
         if matches!(sim.run().outcome, Outcome::Deadlock { .. }) {
             learned = true;
@@ -149,6 +157,9 @@ fn strong_immunity_hook_fires_under_simulated_starvation() {
     .unwrap();
     // Drive enough conflicting schedules that some avoidance-induced
     // starvation arises; under strong immunity each one requests a restart.
+    // Every acquisition shares the `acq` site so the learned signature also
+    // matches second-lock requests: holders can then yield and mutually pin
+    // each other, which is what makes a yield cycle possible at all.
     for seed in 0..200 {
         let mut sim = Sim::new(&rt, seed);
         let a = sim.lock_handle("A");
@@ -158,7 +169,11 @@ fn strong_immunity_hook_fires_under_simulated_starvation() {
             sim.spawn(
                 name,
                 Script::new().scoped("mix", |s| {
-                    s.lock(x).compute(2).lock(y).unlock(y).unlock(x)
+                    s.lock_at(x, "acq")
+                        .compute(2)
+                        .lock_at(y, "acq")
+                        .unlock(y)
+                        .unlock(x)
                 }),
             );
         }
