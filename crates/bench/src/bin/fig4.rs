@@ -30,6 +30,7 @@ fn main() {
     ));
 
     let mut rows = Vec::new();
+    let mut lag_rows = Vec::new();
     for sigs in [32_u64, 64, 128] {
         // RUBiS-like (JBoss): low lock rate, think-time dominated.
         let base = best_rps(reps, || rubis::run_rubis(&params, &Engine::Baseline));
@@ -38,6 +39,7 @@ fn main() {
         let dlk = best_rps(reps, || {
             rubis::run_rubis(&params, &Engine::Dimmunix(rt.clone()))
         });
+        lag_rows.push(lag_row("RUBiS", sigs, &rt));
         rt.shutdown();
         let rubis_overhead = (base - dlk) / base * 100.0;
 
@@ -56,6 +58,7 @@ fn main() {
         let dlk_j = best_rps(reps, || {
             jdbcbench::run_jdbcbench(&jdbc_params, &Engine::Dimmunix(rt.clone()))
         });
+        lag_rows.push(lag_row("JDBC", sigs, &rt));
         rt.shutdown();
         let jdbc_overhead = (base_j - dlk_j) / base_j * 100.0;
 
@@ -81,6 +84,17 @@ fn main() {
         ],
         &rows,
     );
+    println!("\nMonitor lag (event-lane backpressure; all gauges from the run's final state):");
+    table(
+        &[
+            "Workload",
+            "Signatures",
+            "Events/pass",
+            "Lane high-water",
+            "Overflow events",
+        ],
+        &lag_rows,
+    );
     println!(
         "\nPaper shape: both overheads single-digit %, JDBC >= RUBiS, roughly flat in history size \
          (paper maxima: 2.6% JBoss/RUBiS, 7.17% MySQL/JDBCBench)."
@@ -91,4 +105,16 @@ fn best_rps(reps: u64, mut run: impl FnMut() -> rubis::MacroReport) -> f64 {
     (0..reps)
         .map(|_| run().requests_per_sec())
         .fold(0.0_f64, f64::max)
+}
+
+/// One monitor-lag gauge row for a finished Dimmunix run.
+fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
+    let s = rt.stats();
+    vec![
+        workload.to_string(),
+        sigs.to_string(),
+        s.events_last_drain.to_string(),
+        s.lane_high_water.to_string(),
+        s.lane_overflows.to_string(),
+    ]
 }

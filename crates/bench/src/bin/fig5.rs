@@ -43,6 +43,7 @@ fn main() {
             }
         );
         let mut rows = Vec::new();
+        let mut lag_rows = Vec::new();
         let mut t = 2_u64;
         while t <= max_threads {
             let params = MicroParams {
@@ -57,6 +58,13 @@ fn main() {
             let paths = siggen::paths_for_flavor(&rt, &pool, flavor);
             siggen::synthesize_history(&rt, &paths, 64, 2, 5, 4);
             let dlk = run_micro(&params, &Engine::Dimmunix(rt.clone()));
+            let stats = rt.stats();
+            lag_rows.push(vec![
+                t.to_string(),
+                stats.events_last_drain.to_string(),
+                stats.lane_high_water.to_string(),
+                stats.lane_overflows.to_string(),
+            ]);
             rt.shutdown();
             rows.push(vec![
                 t.to_string(),
@@ -76,6 +84,16 @@ fn main() {
                 "Yields/s",
             ],
             &rows,
+        );
+        println!("\nMonitor lag (event-lane backpressure):");
+        table(
+            &[
+                "Threads",
+                "Events/pass",
+                "Lane high-water",
+                "Overflow events",
+            ],
+            &lag_rows,
         );
     }
     println!(

@@ -2,31 +2,76 @@
 //! RAG cache (§5.4, §5.6).
 //!
 //! This is the code on the application's lock/unlock path. It maintains the
-//! "simpler cache of parts of the RAG" the paper describes: the lock-owner
-//! map and the `Allowed` sets — here organized as suffix-keyed buckets so
-//! that signature instantiation checks are hash lookups — plus the set of
-//! currently yielding threads with their causes.
+//! "simpler cache of parts of the RAG" the paper describes — the lock-owner
+//! map and the `Allowed` sets — **sharded so the common case never takes a
+//! global lock**:
 //!
-//! The shared state is protected by a generalization of Peterson's
-//! algorithm (tournament tree by default, §5.6), so the avoidance layer
-//! never synchronizes through an OS lock of the kind it supervises; a plain
-//! mutex can be selected instead for comparison.
+//! * the **owner map** is split into [`OWNER_SHARDS`] hash shards, each
+//!   behind its own mutex, so `acquired`/`release` bookkeeping from
+//!   different locks never contends;
+//! * each registered thread keeps its own **`Allowed` log** (the master
+//!   copy of its entries) behind a per-slot mutex that only its owner and
+//!   the occasional rebuild sweep touch;
+//! * the read-mostly **match view** (enabled matching depths + the
+//!   [`MatchIndex`]) is published through an [`EpochCell`] so `request`
+//!   revalidates it with a single atomic load instead of a read-write lock,
+//!   and never rebuilds it inline on the fast path;
+//! * events flow to the monitor over per-thread SPSC lanes
+//!   ([`crate::lanes::EventLanes`]) instead of one contended MPSC tail.
+//!
+//! # Fast-path gating
+//!
+//! A `request` takes the global guard only when it *might* matter: when the
+//! published view is stale (history generation moved), when the requesting
+//! stack's suffix hits a signature-member bucket (so a yield decision needs
+//! the exact-cover search), or when the thread is still listed in the
+//! global yielding map. Otherwise — empty history, or a suffix that matches
+//! no member at any enabled depth — the hook just appends to its private
+//! `Allowed` log and publishes its events: zero global synchronization.
+//! This is sound because an `Allowed` entry whose own suffix matches no
+//! signature member can never participate in an exact cover (covers look
+//! entries up *by member suffix*), so omitting it from the shared buckets
+//! cannot change any decision. `release` symmetrically skips the guard when
+//! the popped entry was never bucketed and no thread is yielding.
+//!
+//! # What the global guard still protects
+//!
+//! The suffix-keyed `Allowed` buckets (the shared match state consulted by
+//! the exact-cover search), the yielding map with its reverse wake index,
+//! and the rebuild-and-publish transition between history generations. The
+//! guard remains a generalization of Peterson's algorithm (tournament tree
+//! by default, §5.6), so the avoidance layer never synchronizes through an
+//! OS lock of the kind it supervises; a plain mutex can be selected instead
+//! for comparison.
+//!
+//! The rebuild protocol makes the guardless fast path safe: the rebuilder
+//! (monitor or first guarded hook after a generation change) first
+//! publishes the new view, then sweeps every per-thread log — under that
+//! thread's slot mutex — into the fresh buckets. A concurrent fast-path
+//! append either happens before the sweep visits its slot (the sweep merges
+//! it) or after (the mutex hand-off guarantees the thread already observed
+//! the new view, so it re-filtered against the new index).
 //!
 //! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
 //! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
-//! threads (via `dimmunix-threadsim`) drive the same decision logic.
+//! threads (via `dimmunix-threadsim`) drive the same decision logic. The
+//! pre-refactor single-lock engine is preserved as
+//! [`crate::reference::ReferenceCore`] for differential testing and as the
+//! benchmark baseline.
 
 use crate::config::{Config, GuardKind, RuntimeMode};
 use crate::event::{Event, YieldInfo};
+use crate::lanes::EventLanes;
 use crate::stats::Stats;
-use dimmunix_lockfree::{FilterLock, MpscQueue, SlotAllocator, TournamentLock};
+use dimmunix_lockfree::{CachePadded, EpochCell, FilterLock, SlotAllocator, TournamentLock};
 use dimmunix_rag::{LockId, ThreadId, YieldCause};
 use dimmunix_signature::{
     suffix_matches, suffix_of, FrameId, History, MatchIndex, Signature, StackId, StackTable,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Answer of the `request` hook (§3): GO means it is safe — with respect to
@@ -47,51 +92,155 @@ pub enum Decision {
 /// An `Allowed` entry: thread `t` holds, or is allowed to wait for, lock `l`
 /// having had call stack `stack`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct AllowedEntry {
-    t: ThreadId,
-    l: LockId,
-    stack: StackId,
+pub(crate) struct AllowedEntry {
+    pub(crate) t: ThreadId,
+    pub(crate) l: LockId,
+    pub(crate) stack: StackId,
 }
 
-/// The guarded shared state — the paper's RAG cache.
-struct CoreState {
-    /// Master copy of the `Allowed` multiset, keyed by `(thread, lock)`;
-    /// the stack vector has one element per reentrant nesting level.
-    entries: HashMap<(ThreadId, LockId), Vec<StackId>>,
+/// Number of owner-map shards (power of two).
+const OWNER_SHARDS: usize = 64;
+
+/// One owner-map shard: `lock → (owner thread, reentrancy count)`.
+type OwnerShard = Mutex<HashMap<LockId, (ThreadId, u32)>>;
+
+/// The lock-owner table, sharded by lock id so `acquired`/`release` from
+/// different locks never serialize (§5.1's always-current owner mapping).
+struct OwnerTable {
+    shards: Box<[CachePadded<OwnerShard>]>,
+}
+
+impl OwnerTable {
+    fn new() -> Self {
+        Self {
+            shards: (0..OWNER_SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, l: LockId) -> &OwnerShard {
+        // Fibonacci hashing spreads sequential lock ids across shards.
+        let h = (l.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        &self.shards[h & (OWNER_SHARDS - 1)]
+    }
+
+    fn acquire(&self, l: LockId, t: ThreadId) {
+        let mut shard = self.shard(l).lock();
+        let owner = shard.entry(l).or_insert((t, 0));
+        owner.0 = t;
+        owner.1 += 1;
+    }
+
+    fn release(&self, l: LockId, t: ThreadId) {
+        let mut shard = self.shard(l).lock();
+        if let Some(owner) = shard.get_mut(&l) {
+            if owner.0 == t {
+                owner.1 = owner.1.saturating_sub(1);
+                if owner.1 == 0 {
+                    shard.remove(&l);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// The read-mostly snapshot `request` consults without any lock: which
+/// matching depths are enabled and (when configured) the suffix index over
+/// signature members. Published via [`EpochCell`] whenever the history
+/// generation moves.
+pub(crate) struct MatchView {
+    /// History generation this view was built from (`u64::MAX` = never).
+    generation: u64,
+    /// Distinct matching depths of the enabled signatures, ascending.
+    depths: Vec<u8>,
+    /// Suffix index over signature members (`None` in linear-scan mode).
+    index: Option<Arc<MatchIndex>>,
+}
+
+impl MatchView {
+    fn sentinel() -> Self {
+        Self {
+            generation: u64::MAX,
+            depths: Vec::new(),
+            index: None,
+        }
+    }
+
+    /// Whether an `Allowed` entry with these frames could ever participate
+    /// in an exact cover under this view. `false` means the entry can stay
+    /// in its thread's private log and skip the shared buckets entirely.
+    fn is_relevant(&self, frames: &[FrameId]) -> bool {
+        relevance(&self.depths, self.index.as_deref(), frames)
+    }
+}
+
+/// The single relevance predicate shared by the published view and the
+/// guarded state: the two must agree exactly, or guarded inserts and
+/// fast-path/release checks would diverge and leak (or lose) bucket
+/// entries.
+///
+/// In linear-scan mode (no index) every entry is conservatively relevant
+/// once the history is non-empty, matching the reference engine's
+/// bucket-everything behavior.
+fn relevance(depths: &[u8], index: Option<&MatchIndex>, frames: &[FrameId]) -> bool {
+    if depths.is_empty() {
+        return false;
+    }
+    match index {
+        Some(ix) => ix.candidates(frames).next().is_some(),
+        None => true,
+    }
+}
+
+/// The guarded shared match state: the suffix-keyed `Allowed` buckets
+/// consulted by the exact-cover search, the yielding bookkeeping, and the
+/// generation marker of the last rebuild.
+struct MatchState {
     /// `Allowed` entries bucketed by depth-truncated stack suffix, one inner
     /// map per matching depth present in the history. This realizes the
     /// paper's per-call-stack `Allowed` sets: instantiating a signature
     /// means looking up each member stack's bucket, and "in most cases at
-    /// least one of these sets is empty".
+    /// least one of these sets is empty". Only entries whose suffix hits a
+    /// signature member are bucketed (see [`MatchView::is_relevant`]).
     buckets: HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>,
     /// Distinct matching depths present in the (enabled) history.
     depths: Vec<u8>,
-    /// Current lock owners with reentrancy counts — the always-current
-    /// lock-to-owner mapping the avoidance code needs (§5.1).
-    owner: HashMap<LockId, (ThreadId, u32)>,
+    /// Suffix index over signature members, rebuilt with the buckets.
+    index: Option<Arc<MatchIndex>>,
     /// Currently yielding threads and the `(cause thread, cause lock)` pairs
-    /// they wait out; consulted on every release to compute wakeups.
+    /// they wait out.
     yielding: HashMap<ThreadId, Vec<(ThreadId, LockId)>>,
+    /// Reverse index: `(cause thread, cause lock)` → threads yielding on
+    /// that cause, so `release` computes wakeups with one hash lookup
+    /// instead of scanning every yielder's cause list.
+    wake_index: HashMap<(ThreadId, LockId), Vec<ThreadId>>,
     /// History generation the buckets/depths were built for.
     built_gen: u64,
 }
 
-impl CoreState {
+impl MatchState {
     fn new() -> Self {
         Self {
-            entries: HashMap::new(),
             buckets: HashMap::new(),
             depths: Vec::new(),
-            owner: HashMap::new(),
+            index: None,
             yielding: HashMap::new(),
+            wake_index: HashMap::new(),
             built_gen: u64::MAX,
         }
     }
 }
 
-/// [`CoreState`] behind the configured mutual-exclusion guard.
-struct GuardedState {
-    cell: UnsafeCell<CoreState>,
+/// State of type `T` behind the configured mutual-exclusion guard
+/// (tournament tree / filter lock / mutex). Shared with the reference
+/// engine so both are guarded identically.
+pub(crate) struct Guarded<T> {
+    cell: UnsafeCell<T>,
     guard: GuardImpl,
 }
 
@@ -101,29 +250,29 @@ enum GuardImpl {
     Mutex(Mutex<()>),
 }
 
-// SAFETY: All access to `cell` goes through `GuardedState::with`, which
+// SAFETY: All access to `cell` goes through `Guarded::with`, which
 // establishes mutual exclusion via the tournament/filter/mutex guard, so the
-// contained `CoreState` is never aliased mutably.
-unsafe impl Send for GuardedState {}
+// contained state is never aliased mutably.
+unsafe impl<T: Send> Send for Guarded<T> {}
 // SAFETY: See above.
-unsafe impl Sync for GuardedState {}
+unsafe impl<T: Send> Sync for Guarded<T> {}
 
-impl GuardedState {
-    fn new(kind: GuardKind, slots: usize) -> Self {
+impl<T> Guarded<T> {
+    pub(crate) fn new(kind: GuardKind, slots: usize, value: T) -> Self {
         let guard = match kind {
             GuardKind::Tournament => GuardImpl::Tournament(TournamentLock::new(slots)),
             GuardKind::Filter => GuardImpl::Filter(FilterLock::new(slots)),
             GuardKind::Mutex => GuardImpl::Mutex(Mutex::new(())),
         };
         Self {
-            cell: UnsafeCell::new(CoreState::new()),
+            cell: UnsafeCell::new(value),
             guard,
         }
     }
 
     /// Runs `f` with exclusive access to the state. `slot` identifies the
     /// calling thread for the Peterson-style guards.
-    fn with<R>(&self, slot: usize, f: impl FnOnce(&mut CoreState) -> R) -> R {
+    pub(crate) fn with<R>(&self, slot: usize, f: impl FnOnce(&mut T) -> R) -> R {
         match &self.guard {
             GuardImpl::Tournament(t) => {
                 let _g = t.lock(slot);
@@ -146,12 +295,41 @@ impl GuardedState {
     }
 }
 
+/// A thread's private `Allowed` log — the master copy of its entries — plus
+/// its cached match view.
+struct AllowedLog {
+    /// `lock → stack per reentrant nesting level` for this thread.
+    entries: HashMap<LockId, Vec<StackId>>,
+    /// Epoch at which `view` was loaded from the cell.
+    view_epoch: u64,
+    /// Cached published view (`None` until first use).
+    view: Option<Arc<MatchView>>,
+}
+
+impl Default for AllowedLog {
+    fn default() -> Self {
+        Self {
+            entries: HashMap::new(),
+            view_epoch: u64::MAX,
+            view: None,
+        }
+    }
+}
+
 /// Per-registered-thread yield state (the paper's `yieldLock[T]` data,
 /// minus the parking primitive, which lives in the runtime layer so that
 /// simulated threads can use their own).
 #[derive(Default)]
 pub(crate) struct ThreadSlot {
     pub(crate) yield_state: Mutex<YieldState>,
+    /// This thread's private `Allowed` log and view cache. Locked by the
+    /// owning thread on every hook and by rebuild sweeps; never contended
+    /// in steady state.
+    allowed: Mutex<AllowedLog>,
+    /// Mirror of "this thread has an entry in the global yielding map",
+    /// maintained under the global guard, read by the owner thread to
+    /// decide whether a request may skip the guard.
+    in_yielding: AtomicBool,
 }
 
 /// What a yielding thread is waiting out.
@@ -176,13 +354,28 @@ struct Instance {
 
 /// The avoidance engine. One per runtime.
 pub struct AvoidanceCore {
-    state: GuardedState,
+    state: Guarded<MatchState>,
     slots: Box<[ThreadSlot]>,
     slot_alloc: SlotAllocator,
+    owner: OwnerTable,
+    /// Published match view; `request` revalidates its per-slot cache with
+    /// one epoch load.
+    view_cell: EpochCell<MatchView>,
+    /// Racy mirror of `MatchState::yielding.len()`, written under the
+    /// guard. A fast-path `release` may skip the guard only when this is 0
+    /// *and* its entry was never bucketed; yields caused by bucketed
+    /// entries always force their releaser through the guard, so the race
+    /// cannot lose a wakeup.
+    yielder_count: AtomicUsize,
+    /// Serializes the maintenance users of the guard's single reserved
+    /// slot (`slots.len()`): the Peterson-style guards only exclude
+    /// *distinct* slot indices, so the monitor's `refresh_published` and
+    /// any `approx_bytes` caller must take this mutex before entering the
+    /// guard with the shared maintenance slot.
+    maint: Mutex<()>,
     history: Arc<History>,
     stacks: Arc<StackTable>,
-    index: RwLock<Option<Arc<MatchIndex>>>,
-    queue: Arc<MpscQueue<Event>>,
+    lanes: Arc<EventLanes>,
     stats: Arc<Stats>,
     config: Config,
 }
@@ -196,18 +389,21 @@ impl AvoidanceCore {
         config: Config,
         history: Arc<History>,
         stacks: Arc<StackTable>,
-        queue: Arc<MpscQueue<Event>>,
+        lanes: Arc<EventLanes>,
         stats: Arc<Stats>,
     ) -> Self {
         let n = config.max_threads;
         Self {
-            state: GuardedState::new(config.guard, n + MAINT_SLOT_OFFSET),
+            state: Guarded::new(config.guard, n + MAINT_SLOT_OFFSET, MatchState::new()),
             slots: (0..n).map(|_| ThreadSlot::default()).collect(),
             slot_alloc: SlotAllocator::new(n),
+            owner: OwnerTable::new(),
+            view_cell: EpochCell::new(Arc::new(MatchView::sentinel())),
+            yielder_count: AtomicUsize::new(0),
+            maint: Mutex::new(()),
             history,
             stacks,
-            index: RwLock::new(None),
-            queue,
+            lanes,
             stats,
             config,
         }
@@ -219,9 +415,11 @@ impl AvoidanceCore {
     }
 
     /// Registers the calling (real or simulated) thread, returning its dense
-    /// id, or `None` when `max_threads` are already registered.
+    /// id, or `None` when `max_threads` are already registered. Also
+    /// allocates the thread's event lane.
     pub fn register_thread(&self) -> Option<ThreadId> {
         let slot = self.slot_alloc.acquire()?;
+        self.lanes.register(slot);
         Some(ThreadId(slot as u64))
     }
 
@@ -234,20 +432,20 @@ impl AvoidanceCore {
         }
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             self.state.with(slot, |state| {
-                state.yielding.remove(&t);
-                // Defensive: drop any Allowed entries the thread leaked.
-                let stale: Vec<(ThreadId, LockId)> = state
-                    .entries
-                    .keys()
-                    .filter(|&&(et, _)| et == t)
-                    .copied()
-                    .collect();
-                for key in stale {
-                    while Self::remove_entry_inner(&self.stacks, state, key.0, key.1).is_some() {}
+                Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
+                // Drop any Allowed entries the thread leaked; bucket removal
+                // is tolerant, so unfiltered attempts are fine here.
+                let drained: Vec<(LockId, Vec<StackId>)> =
+                    self.slots[slot].allowed.lock().entries.drain().collect();
+                for (l, stacks) in drained {
+                    for stack in stacks {
+                        let frames = self.stacks.resolve(stack);
+                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
+                    }
                 }
             });
         }
-        self.queue.push(Event::ThreadExit { t });
+        self.lanes.push(slot, Event::ThreadExit { t });
         self.slot_alloc.release(slot);
     }
 
@@ -256,19 +454,48 @@ impl AvoidanceCore {
         self.stacks.intern(frames)
     }
 
+    /// Returns this slot's cached view, refreshed from the cell if the
+    /// publication epoch moved. Must be called with the slot lock held —
+    /// the rebuild protocol relies on the epoch being re-read inside the
+    /// slot critical section.
+    fn view_of<'a>(&self, log: &'a mut AllowedLog) -> &'a Arc<MatchView> {
+        let epoch = self.view_cell.epoch();
+        if log.view.is_none() || log.view_epoch != epoch {
+            log.view = Some(self.view_cell.load());
+            log.view_epoch = epoch;
+        }
+        log.view.as_ref().expect("view cache populated above")
+    }
+
     /// The `request` hook: decides GO or YIELD for thread `t` wanting lock
     /// `l` with call stack `frames`/`stack` (§5.4).
     pub fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> Decision {
         Stats::bump(&self.stats.requests);
-        self.queue.push(Event::Request { t, l, stack });
+        let slot = t.0 as usize;
+        self.lanes.push(slot, Event::Request { t, l, stack });
 
         if self.config.mode == RuntimeMode::InstrumentationOnly {
             Stats::bump(&self.stats.gos);
-            self.queue.push(Event::Go { t, l, stack });
+            self.lanes.push(slot, Event::Go { t, l, stack });
             return Decision::Go;
         }
 
-        let slot = t.0 as usize;
+        // Fast path: if the published view is current, the suffix hits no
+        // signature member, and we are not in the global yielding map, the
+        // decision is GO and the entry stays in our private log — no guard.
+        if !self.slots[slot].in_yielding.load(Ordering::Relaxed) {
+            let mut log = self.slots[slot].allowed.lock();
+            let view = self.view_of(&mut log);
+            if view.generation == self.history.generation() && !view.is_relevant(frames) {
+                log.entries.entry(l).or_default().push(stack);
+                drop(log);
+                self.clear_yield_state(slot);
+                Stats::bump(&self.stats.gos);
+                self.lanes.push(slot, Event::Go { t, l, stack });
+                return Decision::Go;
+            }
+        }
+
         let full = self.config.mode == RuntimeMode::Full;
         let instance = self.state.with(slot, |state| {
             self.refresh(state);
@@ -279,20 +506,24 @@ impl AvoidanceCore {
             };
             match instance {
                 None => {
-                    Self::add_entry(state, t, l, frames, stack);
-                    state.yielding.remove(&t);
+                    self.add_entry_guarded(state, slot, t, l, frames, stack);
+                    Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
                     None
                 }
                 Some(inst) => {
                     if self.config.enforce_yields {
-                        state
-                            .yielding
-                            .insert(t, inst.causes.iter().map(|c| (c.thread, c.lock)).collect());
+                        Self::insert_yielding(
+                            state,
+                            &self.slots,
+                            &self.yielder_count,
+                            t,
+                            inst.causes.iter().map(|c| (c.thread, c.lock)).collect(),
+                        );
                     } else {
                         // Measurement mode: record the would-be yield but
                         // proceed as GO.
-                        Self::add_entry(state, t, l, frames, stack);
-                        state.yielding.remove(&t);
+                        self.add_entry_guarded(state, slot, t, l, frames, stack);
+                        Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
                     }
                     Some(inst)
                 }
@@ -301,14 +532,9 @@ impl AvoidanceCore {
 
         match instance {
             None => {
-                {
-                    let mut ys = self.slots[slot].yield_state.lock();
-                    ys.causes.clear();
-                    ys.sig = None;
-                    ys.broken = false;
-                }
+                self.clear_yield_state(slot);
                 Stats::bump(&self.stats.gos);
-                self.queue.push(Event::Go { t, l, stack });
+                self.lanes.push(slot, Event::Go { t, l, stack });
                 Decision::Go
             }
             Some(inst) => {
@@ -320,7 +546,7 @@ impl AvoidanceCore {
                 });
                 inst.sig.record_avoided();
                 Stats::bump(&self.stats.yields);
-                self.queue.push(Event::Yield { t, l, stack, info });
+                self.lanes.push(slot, Event::Yield { t, l, stack, info });
                 if self.config.enforce_yields {
                     let mut ys = self.slots[slot].yield_state.lock();
                     ys.causes = inst.causes;
@@ -329,7 +555,7 @@ impl AvoidanceCore {
                     Decision::Yield { sig: inst.sig }
                 } else {
                     Stats::bump(&self.stats.gos);
-                    self.queue.push(Event::Go { t, l, stack });
+                    self.lanes.push(slot, Event::Go { t, l, stack });
                     Decision::Go
                 }
             }
@@ -338,54 +564,70 @@ impl AvoidanceCore {
 
     /// Grants the lock request without consulting the history — used when a
     /// yield is broken by the monitor or times out: the thread "pursues its
-    /// most recently requested lock" (§3).
+    /// most recently requested lock" (§3). Always guarded: it almost always
+    /// has a yielding entry to clean up.
     pub fn force_go(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        let slot = t.0 as usize;
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(t.0 as usize, |state| {
+            self.state.with(slot, |state| {
                 self.refresh(state);
-                Self::add_entry(state, t, l, frames, stack);
-                state.yielding.remove(&t);
+                self.add_entry_guarded(state, slot, t, l, frames, stack);
+                Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
             });
         }
-        {
-            let mut ys = self.slots[t.0 as usize].yield_state.lock();
-            ys.causes.clear();
-            ys.sig = None;
-            ys.broken = false;
-        }
+        self.clear_yield_state(slot);
         Stats::bump(&self.stats.gos);
-        self.queue.push(Event::Go { t, l, stack });
+        self.lanes.push(slot, Event::Go { t, l, stack });
     }
 
-    /// The `acquired` hook: the lock was actually obtained.
+    /// The `acquired` hook: the lock was actually obtained. Touches only the
+    /// owner shard for this lock — never the global guard.
     pub fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(t.0 as usize, |state| {
-                let owner = state.owner.entry(l).or_insert((t, 0));
-                owner.0 = t;
-                owner.1 += 1;
-            });
+            self.owner.acquire(l, t);
         }
         Stats::bump(&self.stats.acquisitions);
-        self.queue.push(Event::Acquired { t, l, stack });
+        self.lanes
+            .push(t.0 as usize, Event::Acquired { t, l, stack });
     }
 
     /// Reentrant re-acquisition (Java monitor / recursive mutex): no
     /// decision is needed — a thread cannot deadlock against itself — but
     /// the hold multiset gains a level (§5.1) and the `Allowed` entry for
-    /// this nesting level is recorded.
+    /// this nesting level is recorded (guardless when the suffix hits no
+    /// bucket).
     pub fn acquired_reentrant(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        let slot = t.0 as usize;
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(t.0 as usize, |state| {
-                self.refresh(state);
-                Self::add_entry(state, t, l, frames, stack);
-                let owner = state.owner.entry(l).or_insert((t, 0));
-                owner.0 = t;
-                owner.1 += 1;
-            });
+            self.record_entry(slot, t, l, frames, stack);
+            self.owner.acquire(l, t);
         }
         Stats::bump(&self.stats.acquisitions);
-        self.queue.push(Event::Acquired { t, l, stack });
+        self.lanes.push(slot, Event::Acquired { t, l, stack });
+    }
+
+    /// Records an `Allowed` entry outside a decision: fast (log-only) when
+    /// the current view says the suffix hits no bucket, guarded otherwise.
+    fn record_entry(
+        &self,
+        slot: usize,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) {
+        {
+            let mut log = self.slots[slot].allowed.lock();
+            let view = self.view_of(&mut log);
+            if view.generation == self.history.generation() && !view.is_relevant(frames) {
+                log.entries.entry(l).or_default().push(stack);
+                return;
+            }
+        }
+        self.state.with(slot, |state| {
+            self.refresh(state);
+            self.add_entry_guarded(state, slot, t, l, frames, stack);
+        });
     }
 
     /// The `release` hook, invoked **before** the real unlock. Returns the
@@ -394,46 +636,73 @@ impl AvoidanceCore {
     pub fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
         let mut wake = Vec::new();
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(t.0 as usize, |state| {
-                Self::remove_entry_inner(&self.stacks, state, t, l);
-                if let Some(owner) = state.owner.get_mut(&l) {
-                    if owner.0 == t {
-                        owner.1 = owner.1.saturating_sub(1);
-                        if owner.1 == 0 {
-                            state.owner.remove(&l);
-                        }
+            let slot = t.0 as usize;
+            // Pop the innermost entry from our private log and decide —
+            // against the same view its bucket state was built from —
+            // whether the shared buckets ever saw it.
+            let popped = self.pop_entry(slot, l);
+            self.owner.release(l, t);
+            let needs_guard = self.yielder_count.load(Ordering::Acquire) > 0
+                || popped.as_ref().is_some_and(|&(_, relevant)| relevant);
+            if needs_guard {
+                self.state.with(slot, |state| {
+                    if let Some((stack, _)) = popped {
+                        let frames = self.stacks.resolve(stack);
+                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
                     }
-                }
-                if !state.yielding.is_empty() {
-                    for (&yt, causes) in &state.yielding {
-                        if causes.iter().any(|&(ct, cl)| ct == t && cl == l) {
-                            wake.push(yt);
-                        }
+                    if let Some(yielders) = state.wake_index.get(&(t, l)) {
+                        wake.extend(yielders.iter().copied());
                     }
-                }
-            });
+                });
+            }
         }
         Stats::bump(&self.stats.releases);
-        self.queue.push(Event::Release { t, l });
+        self.lanes.push(t.0 as usize, Event::Release { t, l });
         wake
     }
 
     /// The `cancel` hook (§6): rolls back a granted-or-pending request after
     /// a try/timed lock gave up.
     pub fn cancel(&self, t: ThreadId, l: LockId) {
+        let slot = t.0 as usize;
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(t.0 as usize, |state| {
-                Self::remove_entry_inner(&self.stacks, state, t, l);
-                state.yielding.remove(&t);
-            });
+            let popped = self.pop_entry(slot, l);
+            let needs_guard = self.slots[slot].in_yielding.load(Ordering::Relaxed)
+                || popped.as_ref().is_some_and(|&(_, relevant)| relevant);
+            if needs_guard {
+                self.state.with(slot, |state| {
+                    if let Some((stack, _)) = popped {
+                        let frames = self.stacks.resolve(stack);
+                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
+                    }
+                    Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
+                });
+            }
         }
-        {
-            let mut ys = self.slots[t.0 as usize].yield_state.lock();
-            ys.causes.clear();
-            ys.sig = None;
-            ys.broken = false;
+        self.clear_yield_state(slot);
+        self.lanes.push(slot, Event::Cancel { t, l });
+    }
+
+    /// Pops the innermost `Allowed` entry for `(t, l)` from the slot's
+    /// private log; returns its stack and whether the current view ever
+    /// bucketed it.
+    fn pop_entry(&self, slot: usize, l: LockId) -> Option<(StackId, bool)> {
+        let mut log = self.slots[slot].allowed.lock();
+        let vec = log.entries.get_mut(&l)?;
+        let stack = vec.pop()?;
+        if vec.is_empty() {
+            log.entries.remove(&l);
         }
-        self.queue.push(Event::Cancel { t, l });
+        let frames = self.stacks.resolve(stack);
+        let relevant = self.view_of(&mut log).is_relevant(&frames);
+        Some((stack, relevant))
+    }
+
+    fn clear_yield_state(&self, slot: usize) {
+        let mut ys = self.slots[slot].yield_state.lock();
+        ys.causes.clear();
+        ys.sig = None;
+        ys.broken = false;
     }
 
     /// Marks `t`'s current yield as broken (monitor starvation breaking).
@@ -472,31 +741,59 @@ impl AvoidanceCore {
         !ys.causes.is_empty() || ys.sig.is_some()
     }
 
+    /// Rebuilds the match state — and publishes the match view — if the
+    /// history generation moved. The monitor calls this once per pass (from
+    /// the maintenance guard slot) so steady-state requests never pay for a
+    /// rebuild inline; the guarded hook paths still refresh as a fallback
+    /// for immediacy (e.g. right after `vaccinate`).
+    pub(crate) fn refresh_published(&self) {
+        if self.view_cell.load().generation == self.history.generation() {
+            return;
+        }
+        let _m = self.maint.lock();
+        self.state
+            .with(self.slots.len(), |state| self.refresh(state));
+    }
+
     /// Approximate heap footprint of the avoidance state, in bytes (§7.4).
     pub fn approx_bytes(&self) -> usize {
-        self.state.with(self.slots.len(), |state| {
-            let entry_sz =
-                core::mem::size_of::<(ThreadId, LockId)>() + core::mem::size_of::<Vec<StackId>>();
-            let mut total = state.entries.len() * entry_sz
-                + state
+        let entry_sz =
+            core::mem::size_of::<(ThreadId, LockId)>() + core::mem::size_of::<Vec<StackId>>();
+        let mut total = 0;
+        for slot in self.slots.iter() {
+            let log = slot.allowed.lock();
+            total += log.entries.len() * entry_sz
+                + log
                     .entries
                     .values()
                     .map(|v| v.len() * core::mem::size_of::<StackId>())
                     .sum::<usize>();
-            for per_depth in state.buckets.values() {
-                for (k, v) in per_depth {
-                    total += k.len() * core::mem::size_of::<FrameId>()
-                        + v.len() * core::mem::size_of::<AllowedEntry>();
+        }
+        total += {
+            // Maintenance guard slot is shared with the monitor's
+            // refresh_published; serialize through `maint`.
+            let _m = self.maint.lock();
+            self.state.with(self.slots.len(), |state| {
+                let mut n = 0;
+                for per_depth in state.buckets.values() {
+                    for (k, v) in per_depth {
+                        n += k.len() * core::mem::size_of::<FrameId>()
+                            + v.len() * core::mem::size_of::<AllowedEntry>();
+                    }
                 }
-            }
-            total += state.owner.len()
-                * (core::mem::size_of::<LockId>() + core::mem::size_of::<(ThreadId, u32)>());
-            total
-        }) + self.slots.len() * core::mem::size_of::<ThreadSlot>()
+                n
+            })
+        };
+        total += self.owner.len()
+            * (core::mem::size_of::<LockId>() + core::mem::size_of::<(ThreadId, u32)>());
+        total + self.slots.len() * core::mem::size_of::<ThreadSlot>()
     }
 
-    /// Rebuilds depth buckets (and the match index) if the history changed.
-    fn refresh(&self, state: &mut CoreState) {
+    /// Rebuilds depth buckets, the match index and the published view if the
+    /// history changed. Publication happens *before* the per-thread log
+    /// sweep — see the module docs for why that ordering closes the race
+    /// with guardless fast-path appends.
+    fn refresh(&self, state: &mut MatchState) {
         let gen = self.history.generation();
         if state.built_gen == gen {
             return;
@@ -509,28 +806,45 @@ impl AvoidanceCore {
             .collect();
         depths.sort_unstable();
         depths.dedup();
-        state.depths = depths;
-        state.buckets.clear();
-        let entries: Vec<AllowedEntry> = state
-            .entries
-            .iter()
-            .flat_map(|(&(t, l), stacks)| {
-                stacks
-                    .iter()
-                    .map(move |&stack| AllowedEntry { t, l, stack })
-            })
-            .collect();
-        for e in entries {
-            let frames = self.stacks.resolve(e.stack);
-            Self::bucket_insert(state, &frames, e);
-        }
-        if self.config.use_match_index {
-            *self.index.write() = Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)));
-        }
+        state.depths = depths.clone();
+        state.index = if self.config.use_match_index {
+            Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
+        } else {
+            None
+        };
         state.built_gen = gen;
+        self.view_cell.publish(Arc::new(MatchView {
+            generation: gen,
+            depths,
+            index: state.index.clone(),
+        }));
+        state.buckets.clear();
+        // Sweep every per-thread log into the fresh buckets, in slot order
+        // and sorted by lock id within a slot, so the rebuilt bucket vectors
+        // are deterministic (cover search — and hence yield causes — must
+        // not depend on hash-map iteration order).
+        for (slot_idx, slot) in self.slots.iter().enumerate() {
+            let t = ThreadId(slot_idx as u64);
+            let log = slot.allowed.lock();
+            let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
+            locks.sort_unstable();
+            for l in locks {
+                for &stack in &log.entries[&l] {
+                    let frames = self.stacks.resolve(stack);
+                    if Self::relevant_in(state, &frames) {
+                        Self::bucket_insert(state, &frames, AllowedEntry { t, l, stack });
+                    }
+                }
+            }
+        }
     }
 
-    fn bucket_insert(state: &mut CoreState, frames: &[FrameId], e: AllowedEntry) {
+    /// [`relevance`] against the guarded state (same predicate as the view).
+    fn relevant_in(state: &MatchState, frames: &[FrameId]) -> bool {
+        relevance(&state.depths, state.index.as_deref(), frames)
+    }
+
+    fn bucket_insert(state: &mut MatchState, frames: &[FrameId], e: AllowedEntry) {
         for &d in &state.depths {
             let suffix = suffix_of(frames, d as usize);
             let per_depth = state.buckets.entry(d).or_default();
@@ -542,56 +856,100 @@ impl AvoidanceCore {
         }
     }
 
-    fn add_entry(
-        state: &mut CoreState,
-        t: ThreadId,
-        l: LockId,
-        frames: &[FrameId],
-        stack: StackId,
-    ) {
-        state.entries.entry((t, l)).or_default().push(stack);
-        Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
-    }
-
-    /// Removes the innermost `Allowed` entry for `(t, l)`; returns its stack.
-    fn remove_entry_inner(
-        stacks: &StackTable,
-        state: &mut CoreState,
-        t: ThreadId,
-        l: LockId,
-    ) -> Option<StackId> {
-        let vec = state.entries.get_mut(&(t, l))?;
-        let stack = vec.pop()?;
-        if vec.is_empty() {
-            state.entries.remove(&(t, l));
-        }
-        let frames = stacks.resolve(stack);
-        let entry = AllowedEntry { t, l, stack };
+    /// Removes `e` from the buckets at every built depth; tolerant of the
+    /// entry being absent (it may never have been bucketed).
+    fn bucket_remove(state: &mut MatchState, frames: &[FrameId], e: AllowedEntry) {
         for &d in &state.depths {
-            let suffix = suffix_of(&frames, d as usize);
+            let suffix = suffix_of(frames, d as usize);
             if let Some(per_depth) = state.buckets.get_mut(&d) {
                 if let Some(v) = per_depth.get_mut(suffix) {
-                    if let Some(pos) = v.iter().position(|e| *e == entry) {
+                    if let Some(pos) = v.iter().position(|x| *x == e) {
                         v.swap_remove(pos);
                     }
                 }
             }
         }
-        Some(stack)
+    }
+
+    /// Appends the entry to the slot's private log and, when its suffix hits
+    /// a signature member under the freshly built state, to the shared
+    /// buckets. The insertion filter must mirror the release-time relevance
+    /// check exactly, or released entries would linger in the buckets.
+    fn add_entry_guarded(
+        &self,
+        state: &mut MatchState,
+        slot: usize,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) {
+        {
+            let mut log = self.slots[slot].allowed.lock();
+            log.entries.entry(l).or_default().push(stack);
+        }
+        if Self::relevant_in(state, frames) {
+            Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
+        }
+    }
+
+    /// Inserts `t` into the yielding map and the reverse wake index; keeps
+    /// the slot flag and the racy yielder count in sync. Guard-held only.
+    fn insert_yielding(
+        state: &mut MatchState,
+        slots: &[ThreadSlot],
+        count: &AtomicUsize,
+        t: ThreadId,
+        causes: Vec<(ThreadId, LockId)>,
+    ) {
+        Self::remove_yielding(state, slots, count, t);
+        for &cause in &causes {
+            state.wake_index.entry(cause).or_default().push(t);
+        }
+        state.yielding.insert(t, causes);
+        count.store(state.yielding.len(), Ordering::Release);
+        if let Some(slot) = slots.get(t.0 as usize) {
+            slot.in_yielding.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes `t` from the yielding map and the reverse wake index.
+    /// Guard-held only.
+    fn remove_yielding(
+        state: &mut MatchState,
+        slots: &[ThreadSlot],
+        count: &AtomicUsize,
+        t: ThreadId,
+    ) {
+        if let Some(causes) = state.yielding.remove(&t) {
+            for cause in causes {
+                if let Some(v) = state.wake_index.get_mut(&cause) {
+                    if let Some(pos) = v.iter().position(|&x| x == t) {
+                        v.swap_remove(pos);
+                    }
+                    if v.is_empty() {
+                        state.wake_index.remove(&cause);
+                    }
+                }
+            }
+            count.store(state.yielding.len(), Ordering::Release);
+        }
+        if let Some(slot) = slots.get(t.0 as usize) {
+            slot.in_yielding.store(false, Ordering::Relaxed);
+        }
     }
 
     /// Searches the history for a signature that the tentative allow edge
     /// `(t, l, stack)` would instantiate (§5.4).
     fn find_instance(
         &self,
-        state: &CoreState,
+        state: &MatchState,
         t: ThreadId,
         l: LockId,
         frames: &[FrameId],
         stack: StackId,
     ) -> Option<Instance> {
-        if self.config.use_match_index {
-            let index = Arc::clone(self.index.read().as_ref()?);
+        if let Some(index) = &state.index {
             for (sig, member) in index.candidates(frames) {
                 if let Some(inst) = self.try_cover(state, sig, member, t, l, stack) {
                     return Some(inst);
@@ -628,7 +986,7 @@ impl AvoidanceCore {
     /// `Allowed` buckets — the "exact cover" of §3.
     fn try_cover(
         &self,
-        state: &CoreState,
+        state: &MatchState,
         sig: &Arc<Signature>,
         anchor: usize,
         t: ThreadId,
@@ -663,7 +1021,7 @@ impl AvoidanceCore {
     #[allow(clippy::too_many_arguments)] // Recursive helper over packed search state.
     fn cover_rec(
         &self,
-        state: &CoreState,
+        state: &MatchState,
         sig: &Arc<Signature>,
         d: u8,
         members: &[usize],

@@ -81,6 +81,12 @@ pub struct Config {
     /// Maximum concurrently registered threads (bounds the Peterson slots
     /// and pre-allocated per-thread state; the paper evaluates up to 1024).
     pub max_threads: usize,
+    /// Capacity of each per-thread SPSC event lane (rounded up to a power
+    /// of two). A full lane overflows into the shared MPSC queue — correct
+    /// but contended — so size this to cover one monitor period of events
+    /// from the hottest thread. Lanes are allocated lazily per registered
+    /// thread.
+    pub event_lane_capacity: usize,
     /// Guard for the shared avoidance state.
     pub guard: GuardKind,
     /// Overhead-breakdown stage (Figure 8); [`RuntimeMode::Full`] for real
@@ -115,6 +121,7 @@ impl Default for Config {
             calibration: None,
             history_path: None,
             max_threads: 4096,
+            event_lane_capacity: 1024,
             guard: GuardKind::Tournament,
             mode: RuntimeMode::Full,
             enforce_yields: true,

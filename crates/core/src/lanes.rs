@@ -1,0 +1,363 @@
+//! Per-thread event lanes: bounded SPSC rings with an MPSC overflow.
+//!
+//! Every registered thread owns one [`SpscRing`] lane; the monitor is the
+//! single consumer of all lanes plus the shared overflow queue. The hot
+//! `request`/`acquired`/`release` hooks therefore publish their events with
+//! two uncontended atomic stores instead of fighting over one shared MPSC
+//! tail.
+//!
+//! # Ordering
+//!
+//! The monitor's RAG needs per-thread FIFO delivery (a thread's `release`
+//! must never be applied after its subsequent `acquired`). Every event
+//! carries a per-lane sequence number, and four rules keep the invariant
+//! across the ring/overflow boundary:
+//!
+//! 1. Within a lane, the ring is FIFO (and sequence numbers ascend).
+//! 2. When a lane fills, the producer *spills* to the overflow queue and
+//!    keeps spilling until it observes the overflow queue empty (its own
+//!    pushes are always counted in `MpscQueue::len`, so "empty" proves its
+//!    spilled events were popped); only then does it return to the ring.
+//! 3. The consumer drains every lane before the overflow queue, and before
+//!    applying an overflow event it flushes the originating lane's events
+//!    with *smaller sequence numbers* — ring events older than the spilled
+//!    event always precede it.
+//! 4. The sequence comparison in rule 3 also closes the one hole rule 2
+//!    leaves open: the producer may re-enter ring mode while the consumer
+//!    holds a popped-but-not-yet-applied overflow event (the pop already
+//!    decremented the queue length), so the ring can briefly hold events
+//!    *newer* than that overflow event — they stay queued until their
+//!    turn.
+//!
+//! Cross-thread order is no longer the global enqueue order the single MPSC
+//! provided; the RAG tolerates that (holds are multisets, detection runs
+//! only after a full drain), and the monitor-lag gauges in
+//! [`crate::stats::Stats`] make lane backpressure observable.
+
+use crate::event::Event;
+use dimmunix_lockfree::{MpscQueue, SpscRing};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Lane used for events not attributable to a registered slot.
+const NO_LANE: usize = usize::MAX;
+
+struct Lane {
+    /// Allocated on first registration of the slot, then reused.
+    ring: OnceLock<SpscRing<(u64, Event)>>,
+    /// Producer-owned: set when this lane last overflowed; cleared by the
+    /// producer once the overflow queue has drained (see module docs).
+    spilled: AtomicBool,
+    /// Producer-owned per-lane sequence counter (rules 3–4 above).
+    seq: AtomicU64,
+}
+
+/// The event transport between avoidance hooks and the monitor.
+pub struct EventLanes {
+    lanes: Box<[Lane]>,
+    overflow: MpscQueue<(usize, u64, Event)>,
+    lane_capacity: usize,
+    /// Cumulative events that had to take the overflow path.
+    overflowed: AtomicU64,
+}
+
+impl EventLanes {
+    /// Creates lanes for `max_threads` slots; each ring holds
+    /// `lane_capacity` events (rounded up to a power of two).
+    pub fn new(max_threads: usize, lane_capacity: usize) -> Self {
+        Self {
+            lanes: (0..max_threads)
+                .map(|_| Lane {
+                    ring: OnceLock::new(),
+                    spilled: AtomicBool::new(false),
+                    seq: AtomicU64::new(0),
+                })
+                .collect(),
+            overflow: MpscQueue::new(),
+            lane_capacity,
+            overflowed: AtomicU64::new(0),
+        }
+    }
+
+    /// Ensures `slot`'s ring exists (called from thread registration; the
+    /// allocation is kept across slot reuse).
+    pub fn register(&self, slot: usize) {
+        if let Some(lane) = self.lanes.get(slot) {
+            lane.ring
+                .get_or_init(|| SpscRing::with_capacity(self.lane_capacity));
+        }
+    }
+
+    /// Publishes `event` on `slot`'s lane (or the overflow queue when the
+    /// lane is full, unregistered, or still in spilled mode).
+    ///
+    /// Per-slot single-producer contract: only the thread owning `slot` (or
+    /// its deregistering successor, ordered through the slot allocator) may
+    /// call this for a given slot.
+    pub fn push(&self, slot: usize, event: Event) {
+        let Some(lane) = self.lanes.get(slot) else {
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.overflow.push((NO_LANE, 0, event));
+            return;
+        };
+        // Producer-owned counter: only this slot's thread touches it.
+        let seq = lane.seq.fetch_add(1, Ordering::Relaxed);
+        let Some(ring) = lane.ring.get() else {
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.overflow.push((slot, seq, event));
+            return;
+        };
+        if lane.spilled.load(Ordering::Relaxed) {
+            if self.overflow.is_empty() {
+                // Our spilled events are counted in the overflow length, so
+                // an empty queue proves they were popped: safe to resume
+                // delivery through the ring (ordering rule 4 covers the
+                // popped-but-unapplied window).
+                lane.spilled.store(false, Ordering::Relaxed);
+            } else {
+                self.overflowed.fetch_add(1, Ordering::Relaxed);
+                self.overflow.push((slot, seq, event));
+                return;
+            }
+        }
+        if let Err((_, event)) = ring.push((seq, event)) {
+            lane.spilled.store(true, Ordering::Relaxed);
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.overflow.push((slot, seq, event));
+        }
+    }
+
+    /// Drains up to about `cap` events — every lane in slot order, then the
+    /// overflow queue — invoking `f` on each. Returns how many were drained.
+    ///
+    /// `cap` is a wedge guard, not a precise bound: once an overflow event
+    /// has been popped, its originating lane's older events are flushed in
+    /// full (ordering rule 3) even if that overshoots the cap by up to one
+    /// lane's capacity.
+    ///
+    /// Single-consumer contract: only the monitor may call this.
+    pub fn drain(&self, cap: usize, mut f: impl FnMut(Event)) -> usize {
+        let mut drained = 0_usize;
+        for lane in self.lanes.iter() {
+            let Some(ring) = lane.ring.get() else {
+                continue;
+            };
+            while drained < cap {
+                let Some((_, ev)) = ring.pop() else { break };
+                drained += 1;
+                f(ev);
+            }
+            if drained >= cap {
+                return drained;
+            }
+        }
+        while drained < cap {
+            let Some((slot, seq, ev)) = self.overflow.pop() else {
+                break;
+            };
+            // Flush the originating lane's *older* events first (ordering
+            // rules 3–4): events with a smaller sequence predate this
+            // spilled event; any newer ones (the producer may already have
+            // resumed ring mode) stay queued. Not capped — the popped event
+            // must not jump ahead of its lane.
+            if let Some(ring) = self.lanes.get(slot).and_then(|l| l.ring.get()) {
+                while let Some((_, older)) = ring.pop_when(|&(s, _)| s < seq) {
+                    drained += 1;
+                    f(older);
+                }
+            }
+            drained += 1;
+            f(ev);
+        }
+        drained
+    }
+
+    /// Approximate number of undrained events across lanes and overflow.
+    pub fn len(&self) -> usize {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.ring.get())
+            .map(|r| r.len())
+            .sum::<usize>()
+            + self.overflow.len()
+    }
+
+    /// Whether no events appear to be queued (exact when quiescent).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest single-lane occupancy ever observed (monitor-lag gauge).
+    pub fn high_water(&self) -> usize {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.ring.get())
+            .map(|r| r.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cumulative number of events that took the overflow path.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for EventLanes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLanes")
+            .field("slots", &self.lanes.len())
+            .field("len", &self.len())
+            .field("high_water", &self.high_water())
+            .field("overflowed", &self.overflow_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmunix_rag::{LockId, ThreadId};
+    use dimmunix_signature::StackId;
+    use std::sync::Arc;
+
+    fn ev(t: u64, l: u64) -> Event {
+        Event::Request {
+            t: ThreadId(t),
+            l: LockId(l),
+            stack: StackId(0),
+        }
+    }
+
+    fn key(e: &Event) -> (u64, u64) {
+        match *e {
+            Event::Request { t, l, .. } => (t.0, l.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn per_lane_fifo_and_slot_order() {
+        let lanes = EventLanes::new(4, 8);
+        lanes.register(0);
+        lanes.register(2);
+        lanes.push(2, ev(2, 0));
+        lanes.push(0, ev(0, 0));
+        lanes.push(0, ev(0, 1));
+        let mut seen = Vec::new();
+        let n = lanes.drain(usize::MAX, |e| seen.push(key(&e)));
+        assert_eq!(n, 3);
+        // Lane order (slot 0 first), FIFO within a lane.
+        assert_eq!(seen, vec![(0, 0), (0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn overflow_preserves_per_thread_order() {
+        let lanes = EventLanes::new(2, 2);
+        lanes.register(0);
+        // Ring capacity 2: the 3rd..5th pushes spill to the overflow queue.
+        for i in 0..5 {
+            lanes.push(0, ev(0, i));
+        }
+        assert!(lanes.overflow_count() >= 3);
+        let mut seen = Vec::new();
+        lanes.drain(usize::MAX, |e| seen.push(key(&e).1));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "per-thread FIFO across spill");
+        // Once drained, the producer returns to the ring.
+        lanes.push(0, ev(0, 9));
+        let before = lanes.overflow_count();
+        lanes.push(0, ev(0, 10));
+        assert_eq!(lanes.overflow_count(), before);
+    }
+
+    #[test]
+    fn unregistered_slot_goes_to_overflow() {
+        let lanes = EventLanes::new(2, 4);
+        lanes.push(1, ev(1, 7)); // never registered
+        lanes.push(9, ev(9, 7)); // out of range
+        let mut seen = Vec::new();
+        lanes.drain(usize::MAX, |e| seen.push(key(&e).0));
+        assert_eq!(seen, vec![1, 9]);
+        assert_eq!(lanes.overflow_count(), 2);
+    }
+
+    #[test]
+    fn drain_cap_is_respected_and_resumable() {
+        let lanes = EventLanes::new(1, 16);
+        lanes.register(0);
+        for i in 0..10 {
+            lanes.push(0, ev(0, i));
+        }
+        let mut seen = Vec::new();
+        assert_eq!(lanes.drain(4, |e| seen.push(key(&e).1)), 4);
+        assert_eq!(lanes.drain(usize::MAX, |e| seen.push(key(&e).1)), 6);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let lanes = EventLanes::new(1, 8);
+        lanes.register(0);
+        for i in 0..5 {
+            lanes.push(0, ev(0, i));
+        }
+        lanes.drain(usize::MAX, |_| {});
+        assert_eq!(lanes.high_water(), 5);
+    }
+
+    #[test]
+    fn newer_ring_events_do_not_jump_a_pending_overflow_event() {
+        // White-box replay of ordering rule 4: the consumer holds a popped
+        // overflow event while the producer has already resumed ring mode
+        // and pushed a newer event. The newer ring event must not be
+        // flushed ahead of the spilled one.
+        let lanes = EventLanes::new(1, 2);
+        lanes.register(0);
+        lanes.push(0, ev(0, 0));
+        lanes.push(0, ev(0, 1));
+        lanes.push(0, ev(0, 2)); // ring full → spills (seq 2)
+        let mut seen = Vec::new();
+        // Drain the ring stage fully, then pop the overflow event and —
+        // before it is applied — let the producer resume the ring: emulate
+        // by pushing from inside the drain closure when event 2 arrives
+        // (the overflow queue is empty at that point, so spilled clears).
+        let lanes_ref = &lanes;
+        let pushed = std::cell::Cell::new(false);
+        lanes.drain(usize::MAX, |e| {
+            let k = key(&e).1;
+            if k == 2 && !pushed.get() {
+                pushed.set(true);
+                // Producer resumed: seq 3 goes to the ring.
+                lanes_ref.push(0, ev(0, 3));
+            }
+            seen.push(k);
+        });
+        lanes.drain(usize::MAX, |e| seen.push(key(&e).1));
+        assert_eq!(seen, vec![0, 1, 2, 3], "seq merge keeps per-thread FIFO");
+    }
+
+    #[test]
+    fn concurrent_stress_preserves_per_thread_fifo() {
+        const N: u64 = 50_000;
+        let lanes = Arc::new(EventLanes::new(1, 8));
+        lanes.register(0);
+        let producer = {
+            let lanes = Arc::clone(&lanes);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    lanes.push(0, ev(0, i));
+                }
+            })
+        };
+        let mut next = 0_u64;
+        while next < N {
+            lanes.drain(usize::MAX, |e| {
+                let k = key(&e).1;
+                assert_eq!(k, next, "event order violated");
+                next += 1;
+            });
+            std::hint::spin_loop();
+        }
+        producer.join().unwrap();
+    }
+}

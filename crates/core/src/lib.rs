@@ -41,9 +41,16 @@
 //!   "pthreads flavour": pre-interned stacks, near-zero capture cost).
 //! * [`avoidance::AvoidanceCore`] — the `request`/`acquired`/`release`
 //!   decision engine and RAG cache, addressable with explicit thread ids so
-//!   simulators can drive it.
+//!   simulators can drive it. The hot state is sharded (per-thread
+//!   `Allowed` logs, sharded owner map, epoch-published match view) so the
+//!   common case never takes a global lock; see the module docs.
+//! * [`lanes::EventLanes`] — per-thread SPSC event lanes (with MPSC
+//!   overflow) carrying hook events to the monitor.
 //! * [`monitor::Monitor`] — cycle detection, signature archival, starvation
-//!   breaking, false-positive probes, calibration.
+//!   breaking, false-positive probes, calibration, and the steady-state
+//!   match-view rebuild/publication.
+//! * [`reference::ReferenceCore`] — the preserved pre-refactor single-lock
+//!   engine, used by the differential tests and the `hot_path` bench.
 //! * [`context`] + [`frame!`] — the per-thread call-flow frames that give
 //!   signatures their shape.
 
@@ -53,8 +60,10 @@ pub mod avoidance;
 pub mod config;
 pub mod context;
 pub mod event;
+pub mod lanes;
 pub mod monitor;
 pub mod raw;
+pub mod reference;
 pub mod runtime;
 pub mod stats;
 pub mod sync;
@@ -62,8 +71,10 @@ pub mod sync;
 pub use avoidance::{AvoidanceCore, Decision};
 pub use config::{Config, GuardKind, Immunity, RuntimeMode};
 pub use event::{Event, YieldInfo};
+pub use lanes::EventLanes;
 pub use monitor::{Hooks, Monitor};
 pub use raw::{LockSite, RawLock};
+pub use reference::ReferenceCore;
 pub use runtime::{ParkOutcome, Runtime};
 pub use stats::{Stats, StatsSnapshot};
 pub use sync::{ImmunizedMutex, ImmunizedMutexGuard, ReentrantGuard, ReentrantLock};

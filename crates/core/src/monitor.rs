@@ -1,11 +1,23 @@
 //! The monitor thread (§5.2 and Figure 1).
 //!
-//! Periodically drains the lock-free event queue, replays the events into
-//! the full [`Rag`], searches for deadlock and yield cycles, archives new
-//! signatures into the persistent history, breaks induced starvation (weak
-//! immunity) or requests a restart (strong immunity), and runs the
-//! retrospective false-positive analysis that feeds matching-depth
-//! calibration (§5.5).
+//! Periodically drains the per-thread event lanes (then their overflow
+//! queue), replays the events into the full [`Rag`], searches for deadlock
+//! and yield cycles, archives new signatures into the persistent history,
+//! breaks induced starvation (weak immunity) or requests a restart (strong
+//! immunity), and runs the retrospective false-positive analysis that feeds
+//! matching-depth calibration (§5.5).
+//!
+//! The monitor also owns the steady-state rebuild of the avoidance match
+//! view: each pass starts by asking the core to republish if the history
+//! generation moved, so application threads never rebuild inline on the
+//! hot path.
+//!
+//! Events are per-thread FIFO (the lane layer guarantees it even across
+//! ring overflow), but cross-thread interleaving within one pass follows
+//! lane order rather than global enqueue order. The RAG tolerates that:
+//! holds are multisets, detection runs only after the full drain, and a
+//! deadlocked thread stops producing events, so the graph still converges
+//! on exactly the stuck subset (§5.1's lazy-view argument).
 //!
 //! The monitor is deliberately separable from wall-clock time: the runtime
 //! can either spawn it on a dedicated thread with period τ, or call
@@ -15,8 +27,8 @@
 use crate::avoidance::AvoidanceCore;
 use crate::config::{Config, Immunity};
 use crate::event::{Event, YieldInfo};
+use crate::lanes::EventLanes;
 use crate::stats::Stats;
-use dimmunix_lockfree::MpscQueue;
 use dimmunix_rag::{LockId, Rag, ThreadId, YieldCause};
 use dimmunix_signature::{
     suffix_matches, CalibrationUpdate, CallStack, CycleKind, FrameTable, History, HistoryError,
@@ -59,6 +71,11 @@ impl std::fmt::Debug for Hooks {
 const PROBE_OP_CAP: usize = 10_000;
 /// Upper bound on monitor passes a probe stays open without resolution.
 const PROBE_AGE_CAP: u32 = 64;
+/// Upper bound on concurrently open probes. Probes are a statistical
+/// sampling of avoidances (§5.5); without a cap, a yield storm opens one
+/// probe per yield and `feed_probes` — O(open probes) per event — wedges
+/// the monitor quadratically.
+const PROBE_OPEN_CAP: usize = 512;
 
 /// One retrospective false-positive analysis in flight (§5.5): after an
 /// avoidance, log the lock operations of the involved threads (plus the
@@ -134,7 +151,7 @@ pub struct Monitor {
     history: Arc<History>,
     frames: Arc<FrameTable>,
     stacks: Arc<StackTable>,
-    queue: Arc<MpscQueue<Event>>,
+    lanes: Arc<EventLanes>,
     stats: Arc<Stats>,
     hooks: Arc<Hooks>,
     /// Whether the history changed and must be persisted.
@@ -149,7 +166,7 @@ impl Monitor {
         history: Arc<History>,
         frames: Arc<FrameTable>,
         stacks: Arc<StackTable>,
-        queue: Arc<MpscQueue<Event>>,
+        lanes: Arc<EventLanes>,
         stats: Arc<Stats>,
         hooks: Arc<Hooks>,
     ) -> Self {
@@ -160,7 +177,7 @@ impl Monitor {
             history,
             frames,
             stacks,
-            queue,
+            lanes,
             stats,
             hooks,
             dirty: false,
@@ -183,6 +200,9 @@ impl Monitor {
     /// every thread whose yield the monitor breaks.
     pub fn step(&mut self, core: &AvoidanceCore, waker: &dyn Fn(ThreadId)) {
         Stats::bump(&self.stats.monitor_passes);
+        // Own the bucket/index rebuild: republish the match view if the
+        // history generation moved, so the hot path never rebuilds inline.
+        core.refresh_published();
         self.drain_events();
         self.detect_deadlocks();
         self.detect_starvation(core, waker);
@@ -200,15 +220,21 @@ impl Monitor {
     fn drain_events(&mut self) {
         // Bound the drain so a hot producer cannot wedge the monitor.
         const DRAIN_CAP: usize = 1 << 20;
-        let mut drained = 0_usize;
-        while drained < DRAIN_CAP {
-            let Some(event) = self.queue.pop() else { break };
-            drained += 1;
-            self.apply(event);
-        }
+        let lanes = Arc::clone(&self.lanes);
+        let drained = lanes.drain(DRAIN_CAP, |event| self.apply(event));
+        use std::sync::atomic::Ordering::Relaxed;
         self.stats
             .events_processed
-            .fetch_add(drained as u64, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(drained as u64, Relaxed);
+        // Monitor-lag gauges: drain size per pass, peak lane depth, and
+        // cumulative overflow-path events.
+        self.stats.events_last_drain.store(drained as u64, Relaxed);
+        self.stats
+            .lane_high_water
+            .store(lanes.high_water() as u64, Relaxed);
+        self.stats
+            .lane_overflows
+            .store(lanes.overflow_count(), Relaxed);
     }
 
     fn apply(&mut self, event: Event) {
@@ -264,6 +290,11 @@ impl Monitor {
             } else {
                 Stats::bump(&self.stats.structural_false_positives);
             }
+        }
+        if self.probes.len() >= PROBE_OPEN_CAP {
+            // Sampling is saturated; skip this avoidance. (The structural
+            // Figure 9 accounting above is independent and already done.)
+            return;
         }
         self.probes.push(FpProbe {
             sig,

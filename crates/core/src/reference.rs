@@ -1,0 +1,427 @@
+//! The pre-refactor avoidance engine, preserved verbatim in behavior.
+//!
+//! Before the request path was sharded (per-thread `Allowed` logs, sharded
+//! owner map, epoch-published match view, per-thread event lanes), every
+//! `request`/`acquired`/`release` from every thread serialized through one
+//! global tournament-lock critical section around a monolithic state. This
+//! module keeps that engine alive for two purposes:
+//!
+//! * the **differential property test** (`tests/prop_differential.rs`)
+//!   replays random schedules through both engines and asserts byte-
+//!   identical GO/YIELD decision streams — the sharding must be a pure
+//!   performance refactor;
+//! * the **`hot_path` Criterion bench** measures the sharded engine's
+//!   request-path throughput against this one, so the speedup is a recorded
+//!   number rather than a claim.
+//!
+//! It is not wired into [`crate::runtime::Runtime`]; real workloads always
+//! run the sharded [`crate::avoidance::AvoidanceCore`].
+
+use crate::avoidance::{Decision, Guarded};
+use crate::config::{Config, RuntimeMode};
+use crate::event::{Event, YieldInfo};
+use dimmunix_lockfree::{MpscQueue, SlotAllocator};
+use dimmunix_rag::{LockId, ThreadId, YieldCause};
+use dimmunix_signature::{
+    suffix_matches, suffix_of, FrameId, History, MatchIndex, Signature, StackId, StackTable,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct AllowedEntry {
+    t: ThreadId,
+    l: LockId,
+    stack: StackId,
+}
+
+/// The monolithic guarded state — owner map, master `Allowed` multiset,
+/// suffix buckets and yielding set all behind one guard.
+struct RefState {
+    entries: HashMap<(ThreadId, LockId), Vec<StackId>>,
+    buckets: HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>,
+    depths: Vec<u8>,
+    index: Option<Arc<MatchIndex>>,
+    owner: HashMap<LockId, (ThreadId, u32)>,
+    yielding: HashMap<ThreadId, Vec<(ThreadId, LockId)>>,
+    built_gen: u64,
+}
+
+/// The single-lock engine (see module docs). One guard, no fast path.
+pub struct ReferenceCore {
+    state: Guarded<RefState>,
+    slot_alloc: SlotAllocator,
+    max_threads: usize,
+    history: Arc<History>,
+    stacks: Arc<StackTable>,
+    queue: Arc<MpscQueue<Event>>,
+    config: Config,
+}
+
+impl ReferenceCore {
+    /// Creates the engine over a (possibly shared) history and stack table.
+    pub fn new(config: Config, history: Arc<History>, stacks: Arc<StackTable>) -> Self {
+        let n = config.max_threads;
+        Self {
+            state: Guarded::new(
+                config.guard,
+                n + 1,
+                RefState {
+                    entries: HashMap::new(),
+                    buckets: HashMap::new(),
+                    depths: Vec::new(),
+                    index: None,
+                    owner: HashMap::new(),
+                    yielding: HashMap::new(),
+                    built_gen: u64::MAX,
+                },
+            ),
+            slot_alloc: SlotAllocator::new(n),
+            max_threads: n,
+            history,
+            stacks,
+            queue: Arc::new(MpscQueue::new()),
+            config,
+        }
+    }
+
+    /// Registers a thread, returning its dense id.
+    pub fn register_thread(&self) -> Option<ThreadId> {
+        let slot = self.slot_alloc.acquire()?;
+        Some(ThreadId(slot as u64))
+    }
+
+    /// Deregisters `t`.
+    pub fn unregister_thread(&self, t: ThreadId) {
+        let slot = t.0 as usize;
+        self.state.with(slot, |state| {
+            state.yielding.remove(&t);
+            let stale: Vec<(ThreadId, LockId)> = state
+                .entries
+                .keys()
+                .filter(|&&(et, _)| et == t)
+                .copied()
+                .collect();
+            for key in stale {
+                while Self::remove_entry_inner(&self.stacks, state, key.0, key.1).is_some() {}
+            }
+        });
+        self.queue.push(Event::ThreadExit { t });
+        self.slot_alloc.release(slot);
+    }
+
+    /// The pre-refactor `request` hook: one global critical section per
+    /// call, inline rebuild on history-generation change. Yields are always
+    /// enforced (the differential/bench harnesses run the default
+    /// configuration).
+    pub fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> Decision {
+        self.queue.push(Event::Request { t, l, stack });
+        let slot = t.0 as usize;
+        let full = self.config.mode == RuntimeMode::Full;
+        let instance = self.state.with(slot, |state| {
+            self.refresh(state);
+            let instance = if full && !state.depths.is_empty() {
+                self.find_instance(state, t, l, frames, stack)
+            } else {
+                None
+            };
+            match instance {
+                None => {
+                    Self::add_entry(state, t, l, frames, stack);
+                    state.yielding.remove(&t);
+                    None
+                }
+                Some(inst) => {
+                    state
+                        .yielding
+                        .insert(t, inst.2.iter().map(|c| (c.thread, c.lock)).collect());
+                    Some(inst)
+                }
+            }
+        });
+        match instance {
+            None => {
+                self.queue.push(Event::Go { t, l, stack });
+                Decision::Go
+            }
+            Some(inst) => {
+                let info = Box::new(YieldInfo {
+                    sig: inst.0.id,
+                    depth_used: inst.1,
+                    bindings: inst.3,
+                    causes: inst.2,
+                });
+                self.queue.push(Event::Yield { t, l, stack, info });
+                Decision::Yield { sig: inst.0 }
+            }
+        }
+    }
+
+    /// The pre-refactor `acquired` hook (guarded owner-map update).
+    pub fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
+        self.state.with(t.0 as usize, |state| {
+            let owner = state.owner.entry(l).or_insert((t, 0));
+            owner.0 = t;
+            owner.1 += 1;
+        });
+        self.queue.push(Event::Acquired { t, l, stack });
+    }
+
+    /// Reentrant re-acquisition: records the nesting level's entry.
+    pub fn acquired_reentrant(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        self.state.with(t.0 as usize, |state| {
+            self.refresh(state);
+            Self::add_entry(state, t, l, frames, stack);
+            let owner = state.owner.entry(l).or_insert((t, 0));
+            owner.0 = t;
+            owner.1 += 1;
+        });
+        self.queue.push(Event::Acquired { t, l, stack });
+    }
+
+    /// The pre-refactor `release` hook: linear scan over all yielders'
+    /// causes inside the global critical section.
+    pub fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
+        let mut wake = Vec::new();
+        self.state.with(t.0 as usize, |state| {
+            Self::remove_entry_inner(&self.stacks, state, t, l);
+            if let Some(owner) = state.owner.get_mut(&l) {
+                if owner.0 == t {
+                    owner.1 = owner.1.saturating_sub(1);
+                    if owner.1 == 0 {
+                        state.owner.remove(&l);
+                    }
+                }
+            }
+            if !state.yielding.is_empty() {
+                for (&yt, causes) in &state.yielding {
+                    if causes.iter().any(|&(ct, cl)| ct == t && cl == l) {
+                        wake.push(yt);
+                    }
+                }
+            }
+        });
+        self.queue.push(Event::Release { t, l });
+        wake
+    }
+
+    /// The pre-refactor `cancel` hook.
+    pub fn cancel(&self, t: ThreadId, l: LockId) {
+        self.state.with(t.0 as usize, |state| {
+            Self::remove_entry_inner(&self.stacks, state, t, l);
+            state.yielding.remove(&t);
+        });
+        self.queue.push(Event::Cancel { t, l });
+    }
+
+    /// Drains up to `cap` queued events (bench harness stands in for the
+    /// monitor; single-consumer contract as on [`MpscQueue::pop`]).
+    pub fn drain_events(&self, cap: usize) -> usize {
+        let mut n = 0;
+        while n < cap {
+            if self.queue.pop().is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    fn refresh(&self, state: &mut RefState) {
+        let gen = self.history.generation();
+        if state.built_gen == gen {
+            return;
+        }
+        let snapshot = self.history.snapshot();
+        let mut depths: Vec<u8> = snapshot
+            .iter()
+            .filter(|s| !s.is_disabled())
+            .map(|s| s.depth())
+            .collect();
+        depths.sort_unstable();
+        depths.dedup();
+        state.depths = depths;
+        state.buckets.clear();
+        // Deterministic rebuild order (sorted by thread, lock) so yield
+        // causes don't depend on hash-map iteration order — must match the
+        // sharded engine's slot-order sweep.
+        let mut keys: Vec<(ThreadId, LockId)> = state.entries.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(t, l)| (t, l));
+        let entries: Vec<AllowedEntry> = keys
+            .into_iter()
+            .flat_map(|(t, l)| {
+                state.entries[&(t, l)]
+                    .iter()
+                    .map(move |&stack| AllowedEntry { t, l, stack })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for e in entries {
+            let frames = self.stacks.resolve(e.stack);
+            Self::bucket_insert(state, &frames, e);
+        }
+        state.index = if self.config.use_match_index {
+            Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
+        } else {
+            None
+        };
+        state.built_gen = gen;
+    }
+
+    fn bucket_insert(state: &mut RefState, frames: &[FrameId], e: AllowedEntry) {
+        for &d in &state.depths {
+            let suffix = suffix_of(frames, d as usize);
+            let per_depth = state.buckets.entry(d).or_default();
+            if let Some(v) = per_depth.get_mut(suffix) {
+                v.push(e);
+            } else {
+                per_depth.insert(suffix.into(), vec![e]);
+            }
+        }
+    }
+
+    fn add_entry(state: &mut RefState, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        state.entries.entry((t, l)).or_default().push(stack);
+        Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
+    }
+
+    fn remove_entry_inner(
+        stacks: &StackTable,
+        state: &mut RefState,
+        t: ThreadId,
+        l: LockId,
+    ) -> Option<StackId> {
+        let vec = state.entries.get_mut(&(t, l))?;
+        let stack = vec.pop()?;
+        if vec.is_empty() {
+            state.entries.remove(&(t, l));
+        }
+        let frames = stacks.resolve(stack);
+        let entry = AllowedEntry { t, l, stack };
+        for &d in &state.depths {
+            let suffix = suffix_of(&frames, d as usize);
+            if let Some(per_depth) = state.buckets.get_mut(&d) {
+                if let Some(v) = per_depth.get_mut(suffix) {
+                    if let Some(pos) = v.iter().position(|e| *e == entry) {
+                        v.swap_remove(pos);
+                    }
+                }
+            }
+        }
+        Some(stack)
+    }
+
+    #[allow(clippy::type_complexity)] // Instance tuple local to this module.
+    fn find_instance(
+        &self,
+        state: &RefState,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) -> Option<(Arc<Signature>, u8, Vec<YieldCause>, Vec<(StackId, StackId)>)> {
+        if let Some(index) = &state.index {
+            for (sig, member) in index.candidates(frames) {
+                if let Some(inst) = self.try_cover(state, sig, member, t, l, stack) {
+                    return Some(inst);
+                }
+            }
+            None
+        } else {
+            let snapshot = self.history.snapshot();
+            for sig in snapshot.iter() {
+                if sig.is_disabled() {
+                    continue;
+                }
+                let d = sig.depth() as usize;
+                for (mi, &mstack) in sig.stacks.iter().enumerate() {
+                    if mi > 0 && sig.stacks[mi - 1] == mstack {
+                        continue;
+                    }
+                    let mframes = self.stacks.resolve(mstack);
+                    if suffix_matches(frames, &mframes, d) {
+                        if let Some(inst) = self.try_cover(state, sig, mi, t, l, stack) {
+                            return Some(inst);
+                        }
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    #[allow(clippy::type_complexity)] // Instance tuple local to this module.
+    fn try_cover(
+        &self,
+        state: &RefState,
+        sig: &Arc<Signature>,
+        anchor: usize,
+        t: ThreadId,
+        l: LockId,
+        stack: StackId,
+    ) -> Option<(Arc<Signature>, u8, Vec<YieldCause>, Vec<(StackId, StackId)>)> {
+        let d = sig.depth();
+        let members: Vec<usize> = (0..sig.stacks.len()).filter(|&i| i != anchor).collect();
+        let mut chosen: Vec<(ThreadId, LockId, StackId, StackId)> = Vec::new();
+        if self.cover_rec(state, sig, d, &members, 0, t, l, &mut chosen) {
+            let causes = chosen
+                .iter()
+                .map(|&(ct, cl, cs, _)| YieldCause {
+                    thread: ct,
+                    lock: cl,
+                    stack: cs,
+                })
+                .collect();
+            let mut bindings = vec![(stack, sig.stacks[anchor])];
+            bindings.extend(chosen.iter().map(|&(_, _, cs, ms)| (cs, ms)));
+            Some((Arc::clone(sig), d, causes, bindings))
+        } else {
+            None
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // Recursive helper over packed search state.
+    fn cover_rec(
+        &self,
+        state: &RefState,
+        sig: &Arc<Signature>,
+        d: u8,
+        members: &[usize],
+        i: usize,
+        t: ThreadId,
+        l: LockId,
+        chosen: &mut Vec<(ThreadId, LockId, StackId, StackId)>,
+    ) -> bool {
+        if i == members.len() {
+            return true;
+        }
+        let mstack = sig.stacks[members[i]];
+        let mframes = self.stacks.resolve(mstack);
+        let suffix = suffix_of(&mframes, d as usize);
+        let Some(candidates) = state.buckets.get(&d).and_then(|m| m.get(suffix)) else {
+            return false;
+        };
+        for e in candidates {
+            let distinct =
+                e.t != t && e.l != l && chosen.iter().all(|&(ct, cl, _, _)| ct != e.t && cl != e.l);
+            if !distinct {
+                continue;
+            }
+            chosen.push((e.t, e.l, e.stack, mstack));
+            if self.cover_rec(state, sig, d, members, i + 1, t, l, chosen) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for ReferenceCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReferenceCore")
+            .field("max_threads", &self.max_threads)
+            .field("history_len", &self.history.len())
+            .finish()
+    }
+}

@@ -3,8 +3,10 @@
 //!
 //! One [`Runtime`] corresponds to one instrumented program: it owns the
 //! frame/stack interners, the persistent [`History`], the
-//! [`AvoidanceCore`], the event queue and (optionally) a spawned monitor
-//! thread with period τ. Lock types ([`crate::sync::ImmunizedMutex`],
+//! [`AvoidanceCore`], the per-thread event lanes and (optionally) a spawned
+//! monitor thread with period τ. Thread registration allocates the
+//! thread's event lane along with its dense id; deregistration retires
+//! both. Lock types ([`crate::sync::ImmunizedMutex`],
 //! [`crate::sync::ReentrantLock`], [`crate::raw::RawLock`]) hold a handle to
 //! their runtime and route every lock/unlock through its hooks.
 //!
@@ -15,9 +17,9 @@
 
 use crate::avoidance::AvoidanceCore;
 use crate::config::Config;
+use crate::lanes::EventLanes;
 use crate::monitor::{Hooks, Monitor};
 use crate::stats::{Stats, StatsSnapshot};
-use dimmunix_lockfree::MpscQueue;
 use dimmunix_rag::{LockId, ThreadId};
 use dimmunix_signature::{FrameTable, History, HistoryError, StackTable};
 use parking_lot::{Condvar, Mutex};
@@ -131,13 +133,18 @@ impl Runtime {
             Some(path) => History::open(path, &frames, &stacks)?,
             None => History::new(),
         });
-        let queue = Arc::new(MpscQueue::new());
+        // Per-thread event lanes; rings are allocated lazily as threads
+        // register (see AvoidanceCore::register_thread).
+        let lanes = Arc::new(EventLanes::new(
+            config.max_threads,
+            config.event_lane_capacity,
+        ));
         let stats = Arc::new(Stats::new());
         let core = AvoidanceCore::new(
             config.clone(),
             Arc::clone(&history),
             Arc::clone(&stacks),
-            Arc::clone(&queue),
+            Arc::clone(&lanes),
             Arc::clone(&stats),
         );
         let monitor = Monitor::new(
@@ -145,7 +152,7 @@ impl Runtime {
             Arc::clone(&history),
             Arc::clone(&frames),
             Arc::clone(&stacks),
-            Arc::clone(&queue),
+            Arc::clone(&lanes),
             Arc::clone(&stats),
             Arc::new(hooks),
         );

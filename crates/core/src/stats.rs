@@ -1,22 +1,30 @@
 //! Runtime counters.
 
+use dimmunix_lockfree::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic counters exposed by a runtime; all relaxed atomics, cheap to
 /// bump from the hot path.
+///
+/// The four counters bumped on *every* lock operation by *every*
+/// application thread (`requests`, `gos`, `acquisitions`, `releases`) are
+/// cache-line padded: without padding they share one or two lines and every
+/// bump invalidates the others' lines on all cores (false sharing). The
+/// remaining counters are rare (yields, detections) or monitor-only and
+/// stay unpadded.
 #[derive(Default, Debug)]
 pub struct Stats {
     /// `request` hook invocations.
-    pub requests: AtomicU64,
+    pub requests: CachePadded<AtomicU64>,
     /// GO decisions returned.
-    pub gos: AtomicU64,
+    pub gos: CachePadded<AtomicU64>,
+    /// Locks actually acquired.
+    pub acquisitions: CachePadded<AtomicU64>,
+    /// Locks released.
+    pub releases: CachePadded<AtomicU64>,
     /// YIELD decisions returned (avoidances performed).
     pub yields: AtomicU64,
-    /// Locks actually acquired.
-    pub acquisitions: AtomicU64,
-    /// Locks released.
-    pub releases: AtomicU64,
     /// Yields aborted by the max-yield-duration bound.
     pub yield_aborts: AtomicU64,
     /// Yields cancelled by the monitor to break starvation.
@@ -43,6 +51,13 @@ pub struct Stats {
     pub events_processed: AtomicU64,
     /// Monitor wakeups.
     pub monitor_passes: AtomicU64,
+    /// Monitor-lag gauge: events drained by the most recent monitor pass.
+    pub events_last_drain: AtomicU64,
+    /// Monitor-lag gauge: highest per-thread event-lane occupancy observed.
+    pub lane_high_water: AtomicU64,
+    /// Monitor-lag gauge: cumulative events that overflowed a full lane
+    /// into the shared MPSC queue.
+    pub lane_overflows: AtomicU64,
 }
 
 impl Stats {
@@ -81,6 +96,9 @@ impl Stats {
             unsupervised_threads: Self::get(&self.unsupervised_threads),
             events_processed: Self::get(&self.events_processed),
             monitor_passes: Self::get(&self.monitor_passes),
+            events_last_drain: Self::get(&self.events_last_drain),
+            lane_high_water: Self::get(&self.lane_high_water),
+            lane_overflows: Self::get(&self.lane_overflows),
         }
     }
 }
@@ -122,6 +140,12 @@ pub struct StatsSnapshot {
     pub events_processed: u64,
     /// Monitor wakeups.
     pub monitor_passes: u64,
+    /// Events drained by the most recent monitor pass.
+    pub events_last_drain: u64,
+    /// Highest per-thread event-lane occupancy observed.
+    pub lane_high_water: u64,
+    /// Cumulative lane-overflow events.
+    pub lane_overflows: u64,
 }
 
 impl fmt::Debug for StatsSnapshot {

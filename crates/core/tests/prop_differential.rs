@@ -1,0 +1,413 @@
+//! Differential property test: the sharded request path must be a pure
+//! performance refactor.
+//!
+//! Random threadsim-style schedules (per-thread lock/unlock scripts
+//! interleaved by a generated slot sequence, with signatures injected
+//! mid-run so the history crosses the empty→non-empty transition) are
+//! replayed in lockstep through the sharded engine
+//! ([`dimmunix_core::AvoidanceCore`], via a `Runtime`) and the preserved
+//! pre-refactor single-lock engine ([`dimmunix_core::ReferenceCore`]). The
+//! GO/YIELD decision streams must be byte-identical at every step.
+
+use dimmunix_core::{
+    Config, CycleKind, Decision, FrameId, LockId, ReferenceCore, Runtime, StackId, ThreadId,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const LOCKS: usize = 4;
+const SITES: u8 = 6;
+
+/// One entry of the generated schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Give thread `t` one scheduling slot.
+    Run(u8),
+    /// Add a deadlock signature over sites `i`/`j` at `depth` — the
+    /// empty→non-empty history transition happens mid-schedule.
+    AddSig { i: u8, j: u8, depth: u8 },
+}
+
+/// One scripted action of a simulated thread.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Blocking lock of lock `l` through call site `p`.
+    Lock(u8, u8),
+    /// Try-lock (cancels on contention or yield) of `l` through `p`.
+    TryLock(u8, u8),
+    /// Release the most recently acquired lock (no-op when holding none).
+    Unlock,
+}
+
+fn arb_schedule() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0_u8..THREADS as u8).prop_map(Step::Run),
+            (0_u8..THREADS as u8).prop_map(Step::Run),
+            (0_u8..THREADS as u8).prop_map(Step::Run),
+            (0_u8..THREADS as u8).prop_map(Step::Run),
+            (0_u8..SITES, 0_u8..SITES, 1_u8..3).prop_map(|(i, j, depth)| Step::AddSig {
+                i,
+                j,
+                depth
+            }),
+        ],
+        0..160,
+    )
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0_u8..LOCKS as u8, 0_u8..SITES).prop_map(|(l, p)| Action::Lock(l, p)),
+            (0_u8..LOCKS as u8, 0_u8..SITES).prop_map(|(l, p)| Action::TryLock(l, p)),
+            (0_u8..1).prop_map(|_| Action::Unlock),
+        ],
+        0..16,
+    )
+}
+
+/// The hook surface both engines expose.
+trait Hooks {
+    fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> bool;
+    fn acquired(&self, t: ThreadId, l: LockId, stack: StackId);
+    fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId>;
+    fn cancel(&self, t: ThreadId, l: LockId);
+}
+
+impl Hooks for Runtime {
+    fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> bool {
+        matches!(self.core().request(t, l, frames, stack), Decision::Go)
+    }
+    fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
+        self.core().acquired(t, l, stack);
+    }
+    fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
+        self.core().release(t, l)
+    }
+    fn cancel(&self, t: ThreadId, l: LockId) {
+        self.core().cancel(t, l);
+    }
+}
+
+impl Hooks for ReferenceCore {
+    fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> bool {
+        matches!(
+            ReferenceCore::request(self, t, l, frames, stack),
+            Decision::Go
+        )
+    }
+    fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
+        ReferenceCore::acquired(self, t, l, stack);
+    }
+    fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
+        ReferenceCore::release(self, t, l)
+    }
+    fn cancel(&self, t: ThreadId, l: LockId) {
+        ReferenceCore::cancel(self, t, l);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum VState {
+    Ready,
+    Blocked(usize),
+    Yielding(usize),
+}
+
+/// Minimal deterministic thread simulator over one engine, mirroring
+/// `dimmunix_threadsim::Sim`'s blocking/yield/wake semantics.
+struct MiniSim<'a, E: Hooks> {
+    engine: &'a E,
+    tids: Vec<ThreadId>,
+    lock_ids: Vec<LockId>,
+    sites: Vec<(Vec<FrameId>, StackId)>,
+    scripts: Vec<Vec<Action>>,
+    pc: Vec<usize>,
+    state: Vec<VState>,
+    woken: Vec<bool>,
+    held: Vec<Vec<usize>>,
+    owner: Vec<Option<usize>>,
+    waiters: Vec<VecDeque<usize>>,
+    /// Site of the outstanding (blocked or yielding) request per thread.
+    pending: Vec<Option<u8>>,
+}
+
+impl<'a, E: Hooks> MiniSim<'a, E> {
+    fn new(
+        engine: &'a E,
+        tids: Vec<ThreadId>,
+        lock_ids: Vec<LockId>,
+        sites: Vec<(Vec<FrameId>, StackId)>,
+        scripts: Vec<Vec<Action>>,
+    ) -> Self {
+        let n = scripts.len();
+        Self {
+            engine,
+            tids,
+            lock_ids,
+            sites,
+            scripts,
+            pc: vec![0; n],
+            state: vec![VState::Ready; n],
+            woken: vec![false; n],
+            held: vec![Vec::new(); n],
+            owner: vec![None; LOCKS],
+            waiters: vec![VecDeque::new(); LOCKS],
+            pending: vec![None; n],
+        }
+    }
+
+    /// Runs one slot for thread `v`; returns the GO/YIELD decision if a
+    /// `request` was made.
+    fn run_slot(&mut self, v: usize) -> Option<bool> {
+        match self.state[v] {
+            VState::Blocked(_) => None,
+            VState::Yielding(l) => {
+                if !self.woken[v] {
+                    return None;
+                }
+                self.woken[v] = false;
+                let site = self.pending[v].expect("yielding thread has a pending site");
+                let (frames, stack) = self.sites[site as usize].clone();
+                let go = self
+                    .engine
+                    .request(self.tids[v], self.lock_ids[l], &frames, stack);
+                if go {
+                    self.attempt_acquire(v, l, stack);
+                }
+                Some(go)
+            }
+            VState::Ready => {
+                let action = self.scripts[v].get(self.pc[v]).cloned()?;
+                match action {
+                    Action::Lock(l, p) => {
+                        let (frames, stack) = self.sites[p as usize].clone();
+                        let l = l as usize;
+                        let go =
+                            self.engine
+                                .request(self.tids[v], self.lock_ids[l], &frames, stack);
+                        self.pending[v] = Some(p);
+                        if go {
+                            self.attempt_acquire(v, l, stack);
+                        } else {
+                            self.state[v] = VState::Yielding(l);
+                            self.woken[v] = false;
+                        }
+                        Some(go)
+                    }
+                    Action::TryLock(l, p) => {
+                        let (frames, stack) = self.sites[p as usize].clone();
+                        let l = l as usize;
+                        let go =
+                            self.engine
+                                .request(self.tids[v], self.lock_ids[l], &frames, stack);
+                        if go && self.owner[l].is_none() {
+                            self.engine.acquired(self.tids[v], self.lock_ids[l], stack);
+                            self.owner[l] = Some(v);
+                            self.held[v].push(l);
+                        } else {
+                            self.engine.cancel(self.tids[v], self.lock_ids[l]);
+                        }
+                        self.pc[v] += 1;
+                        Some(go)
+                    }
+                    Action::Unlock => {
+                        if let Some(l) = self.held[v].pop() {
+                            self.do_unlock(v, l);
+                        }
+                        self.pc[v] += 1;
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn attempt_acquire(&mut self, v: usize, l: usize, stack: StackId) {
+        if self.owner[l].is_none() {
+            self.grant(v, l, stack);
+        } else {
+            self.waiters[l].push_back(v);
+            self.state[v] = VState::Blocked(l);
+        }
+    }
+
+    fn grant(&mut self, v: usize, l: usize, stack: StackId) {
+        self.engine.acquired(self.tids[v], self.lock_ids[l], stack);
+        self.owner[l] = Some(v);
+        self.held[v].push(l);
+        self.state[v] = VState::Ready;
+        self.pc[v] += 1;
+    }
+
+    fn do_unlock(&mut self, v: usize, l: usize) {
+        let wake = self.engine.release(self.tids[v], self.lock_ids[l]);
+        self.owner[l] = None;
+        if let Some(next) = self.waiters[l].pop_front() {
+            let site = self.pending[next].expect("blocked thread has a pending site");
+            let stack = self.sites[site as usize].1;
+            self.grant(next, l, stack);
+        }
+        for w in wake {
+            if let Some(idx) = self.tids.iter().position(|&t| t == w) {
+                if matches!(self.state[idx], VState::Yielding(_)) {
+                    self.woken[idx] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Replays `schedule` over `scripts` through both engines in lockstep and
+/// returns the (asserted-identical) decision stream.
+fn run_differential(
+    use_match_index: bool,
+    schedule: &[Step],
+    scripts: [Vec<Action>; THREADS],
+) -> Result<Vec<bool>, String> {
+    let rt = Runtime::new(Config {
+        use_match_index,
+        max_threads: 8,
+        ..Config::default()
+    })
+    .unwrap();
+    // The reference engine shares the runtime's history and interners, so
+    // signature injection and stack ids line up exactly; nothing else
+    // mutates the history (the monitor is never stepped here).
+    let reference = ReferenceCore::new(
+        Config {
+            use_match_index,
+            max_threads: 8,
+            ..Config::default()
+        },
+        Arc::clone(rt.history()),
+        Arc::clone(rt.stack_table()),
+    );
+
+    let sites: Vec<(Vec<FrameId>, StackId)> = (0..SITES)
+        .map(|p| {
+            let site = rt.make_site(&[
+                ("caller", "d.rs", u32::from(p)),
+                ("inner", "d.rs", 100 + u32::from(p)),
+            ]);
+            (site.frames().to_vec(), site.stack())
+        })
+        .collect();
+    let tids_a: Vec<ThreadId> = (0..THREADS)
+        .map(|_| rt.core().register_thread().unwrap())
+        .collect();
+    let tids_b: Vec<ThreadId> = (0..THREADS)
+        .map(|_| reference.register_thread().unwrap())
+        .collect();
+    if tids_a != tids_b {
+        return Err("engines assigned different thread ids".into());
+    }
+    let lock_ids: Vec<LockId> = (0..LOCKS).map(|_| rt.new_lock_id()).collect();
+
+    let mut sim_a = MiniSim::new(
+        &rt,
+        tids_a,
+        lock_ids.clone(),
+        sites.clone(),
+        scripts.to_vec(),
+    );
+    let mut sim_b = MiniSim::new(
+        &reference,
+        tids_b,
+        lock_ids,
+        sites.clone(),
+        scripts.to_vec(),
+    );
+
+    let mut decisions = Vec::new();
+    for (step_no, step) in schedule.iter().enumerate() {
+        match *step {
+            Step::Run(t) => {
+                let da = sim_a.run_slot(t as usize);
+                let db = sim_b.run_slot(t as usize);
+                if da != db {
+                    return Err(format!(
+                        "decision divergence at step {step_no} (thread {t}): \
+                         sharded={da:?} reference={db:?}"
+                    ));
+                }
+                if let Some(d) = da {
+                    decisions.push(d);
+                }
+            }
+            Step::AddSig { i, j, depth } => {
+                let a = sites[i as usize].1;
+                let b = sites[j as usize].1;
+                rt.history().add(CycleKind::Deadlock, vec![a, b], depth);
+                rt.history().touch();
+            }
+        }
+    }
+    Ok(decisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded and reference engines agree on every decision, with the
+    /// suffix match index enabled (the production configuration).
+    #[test]
+    fn sharded_engine_matches_reference_with_index(
+        schedule in arb_schedule(),
+        s0 in arb_script(),
+        s1 in arb_script(),
+        s2 in arb_script(),
+        s3 in arb_script(),
+    ) {
+        let result = run_differential(true, &schedule, [s0, s1, s2, s3]);
+        prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
+    }
+
+    /// Same agreement in linear-scan mode, where the fast path reduces to
+    /// the empty-history check.
+    #[test]
+    fn sharded_engine_matches_reference_linear(
+        schedule in arb_schedule(),
+        s0 in arb_script(),
+        s1 in arb_script(),
+        s2 in arb_script(),
+        s3 in arb_script(),
+    ) {
+        let result = run_differential(false, &schedule, [s0, s1, s2, s3]);
+        prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
+    }
+}
+
+/// A deterministic regression for the empty→non-empty transition: entries
+/// recorded guardlessly while the history was empty must be visible to the
+/// cover search after the first signature arrives — in both engines,
+/// yielding identical decisions.
+#[test]
+fn empty_to_nonempty_transition_is_lockstep() {
+    let schedule = vec![
+        Step::Run(0), // T0 locks L0 (empty history: sharded fast path)
+        Step::Run(1), // T1 locks L1
+        Step::AddSig {
+            i: 0,
+            j: 1,
+            depth: 2,
+        },
+        Step::Run(0), // T0 requests L1 → first guarded request post-transition
+        Step::Run(1), // T1 requests L0 → must YIELD in both engines
+    ];
+    let scripts = [
+        vec![Action::Lock(0, 0), Action::Lock(1, 1)],
+        vec![Action::Lock(1, 1), Action::Lock(0, 0)],
+        vec![],
+        vec![],
+    ];
+    let decisions = run_differential(true, &schedule, scripts).expect("no divergence");
+    assert_eq!(
+        decisions,
+        vec![true, true, true, false],
+        "T1's second request must instantiate the injected signature"
+    );
+}

@@ -13,6 +13,16 @@
 //!   consulted by the `request` and `release` hooks — implemented in
 //!   [`peterson`].
 //!
+//! On top of the paper's requirements, the sharded request path adds two
+//! more pieces:
+//!
+//! * a **bounded SPSC ring** ([`spsc::SpscRing`]) used as a per-registered-
+//!   thread event lane that overflows into the MPSC queue, so hot threads
+//!   never contend on one shared queue tail;
+//! * an **epoch-published snapshot cell** ([`epoch::EpochCell`]) that lets
+//!   the `request` hook read the current match view with a single atomic
+//!   load instead of a read-write lock.
+//!
 //! The crate also provides the small utilities those algorithms need:
 //! exponential [`backoff::Backoff`] for contended spin loops and
 //! [`pad::CachePadded`] to keep hot atomics on separate cache lines.
@@ -24,13 +34,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod backoff;
+pub mod epoch;
 pub mod mpsc;
 pub mod pad;
 pub mod peterson;
+pub mod spsc;
 pub mod tournament;
 
 pub use backoff::Backoff;
+pub use epoch::EpochCell;
 pub use mpsc::MpscQueue;
 pub use pad::CachePadded;
 pub use peterson::{FilterLock, FilterLockGuard, SlotAllocator};
+pub use spsc::SpscRing;
 pub use tournament::{TournamentGuard, TournamentLock};

@@ -69,6 +69,9 @@ pub struct RunReport {
     pub signatures_added: u64,
     /// Yield-timeout aborts during this run.
     pub yield_aborts: u64,
+    /// Events the monitor drained from the per-thread lanes during this
+    /// run — the embedded-mode view of the monitor-lag gauge.
+    pub events_drained: u64,
 }
 
 impl RunReport {
@@ -118,6 +121,12 @@ struct SimLock {
 /// The runtime (and hence the history — the immune memory) is shared across
 /// sims: run one `Sim` per "program execution" and reuse the runtime to
 /// model restarts.
+///
+/// Simulated threads drive the exact production hook path: spawning
+/// registers a dense thread id *and* its per-thread SPSC event lane, every
+/// hook publishes onto that lane, and the embedded monitor steps drain the
+/// lanes in slot order — so the simulator exercises the same sharded
+/// request path (and the same lane-ordering rules) as real OS threads.
 pub struct Sim {
     rt: Runtime,
     config: SimConfig,
@@ -475,6 +484,7 @@ impl Sim {
             starvations_detected: end.starvations_detected - self.start_stats.starvations_detected,
             signatures_added: end.signatures_added - self.start_stats.signatures_added,
             yield_aborts: end.yield_aborts - self.start_stats.yield_aborts,
+            events_drained: end.events_processed - self.start_stats.events_processed,
         }
     }
 
