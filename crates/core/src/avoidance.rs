@@ -3,7 +3,7 @@
 //!
 //! This is the code on the application's lock/unlock path. It maintains the
 //! "simpler cache of parts of the RAG" the paper describes — the lock-owner
-//! map and the `Allowed` sets — **sharded so the common case never takes a
+//! map and the `Allowed` sets — **sharded so that no hook ever takes a
 //! global lock**:
 //!
 //! * the **owner map** is split into [`OWNER_SHARDS`] hash shards, each
@@ -12,63 +12,101 @@
 //! * each registered thread keeps its own **`Allowed` log** (the master
 //!   copy of its entries) behind a per-slot mutex that only its owner and
 //!   the occasional rebuild sweep touch;
-//! * the read-mostly **match view** (enabled matching depths + the
-//!   [`MatchIndex`]) is published through an [`EpochCell`] so `request`
-//!   revalidates it with a single atomic load instead of a read-write lock,
-//!   and never rebuilds it inline on the fast path;
+//! * the suffix-keyed **`Allowed` buckets** consulted by the exact-cover
+//!   search live in a [`MatchTable`]: [`Config::match_shards`] hash shards
+//!   keyed by `suffix_hash(depth, suffix)`, each behind its own small
+//!   mutex, so concurrent requests hitting *different* signatures never
+//!   contend. The table also publishes per-bucket **occupancy
+//!   fingerprints** ([`OccupancyArray`]): exact atomic counters whose zero
+//!   reads prove a bucket empty without locking its shard;
+//! * the **yielding bookkeeping** is sharded too: each thread's yield
+//!   causes live in its own slot, and the reverse wake index
+//!   (`(cause thread, cause lock) → yielders`) is split into
+//!   [`WAKE_SHARDS`] hash shards;
+//! * the read-mostly **match view** (enabled matching depths, the
+//!   [`MatchIndex`], and the current `MatchTable`) is published through an
+//!   [`EpochCell`] so `request` revalidates it with a single atomic load;
 //! * events flow to the monitor over per-thread SPSC lanes
 //!   ([`crate::lanes::EventLanes`]) instead of one contended MPSC tail.
 //!
 //! # Fast-path gating
 //!
-//! A `request` takes the global guard only when it *might* matter: when the
-//! published view is stale (history generation moved), when the requesting
-//! stack's suffix hits a signature-member bucket (so a yield decision needs
-//! the exact-cover search), or when the thread is still listed in the
-//! global yielding map. Otherwise — empty history, or a suffix that matches
-//! no member at any enabled depth — the hook just appends to its private
-//! `Allowed` log and publishes its events: zero global synchronization.
-//! This is sound because an `Allowed` entry whose own suffix matches no
-//! signature member can never participate in an exact cover (covers look
-//! entries up *by member suffix*), so omitting it from the shared buckets
-//! cannot change any decision. `release` symmetrically skips the guard when
-//! the popped entry was never bucketed and no thread is yielding.
+//! A `request` whose stack suffix hits no signature-member bucket (and that
+//! is not yielding) appends to its private `Allowed` log and publishes its
+//! events: zero shared synchronization. This is sound because an `Allowed`
+//! entry whose own suffix matches no signature member can never participate
+//! in an exact cover (covers look entries up *by member suffix*), so
+//! omitting it from the shared buckets cannot change any decision.
 //!
-//! # What the global guard still protects
+//! A request that *does* hit a member bucket runs the **guard-free cover
+//! precheck** first: a signature can only be instantiated if *every* member
+//! bucket is non-empty, so one zero occupancy fingerprint among a
+//! candidate's other members refutes that candidate without locking
+//! anything. Only candidates that survive the precheck get a shard-locked
+//! exact-cover search, and that search acquires *only* the shards of the
+//! candidate's member suffixes — in ascending shard order, the invariant
+//! that keeps the engine itself deadlock-free. In the common case ("in most
+//! cases at least one of these sets is empty", §5.4) the whole matching
+//! path is therefore a read-only precheck plus one shard-locked insert of
+//! the requester's own entry.
 //!
-//! The suffix-keyed `Allowed` buckets (the shared match state consulted by
-//! the exact-cover search), the yielding map with its reverse wake index,
-//! and the rebuild-and-publish transition between history generations. The
-//! guard remains a generalization of Peterson's algorithm (tournament tree
-//! by default, §5.6), so the avoidance layer never synchronizes through an
-//! OS lock of the kind it supervises; a plain mutex can be selected instead
-//! for comparison.
+//! # Rebuild protocol
 //!
-//! The rebuild protocol makes the guardless fast path safe: the rebuilder
-//! (monitor or first guarded hook after a generation change) first
-//! publishes the new view, then sweeps every per-thread log — under that
-//! thread's slot mutex — into the fresh buckets. A concurrent fast-path
-//! append either happens before the sweep visits its slot (the sweep merges
-//! it) or after (the mutex hand-off guarantees the thread already observed
-//! the new view, so it re-filtered against the new index).
+//! When the history generation moves, a single rebuilder (the monitor, or
+//! the first hook that notices — serialized by the rebuild mutex) builds a
+//! *fresh* `MatchTable` and index, publishes the new view, then sweeps
+//! every per-thread log — under that thread's slot mutex — into the fresh
+//! buckets, and finally marks the table swept. Publication-before-sweep
+//! closes the race with guardless fast-path appends: an append either
+//! happens before the sweep visits its slot (the sweep merges it) or after
+//! (the slot-mutex hand-off guarantees the thread already observed the new
+//! view). Decisions and direct bucket inserts wait for the swept flag, so
+//! they only ever run against a complete table; the old table becomes
+//! garbage once the last reader drops its cached view.
+//!
+//! # Lock ordering
+//!
+//! `rebuild mutex → slot (allowed-log) mutex → bucket-shard mutexes
+//! (ascending shard index) → yield-cause mutex → wake-shard mutex`.
+//! Hooks drop the slot mutex before calling `rebuild`; the cover search is
+//! the only place that holds several bucket shards at once, and it sorts
+//! and dedups the shard indices first. A *successful* cover keeps its
+//! shards held until the yield is registered in the wake shards: a release
+//! of a cause lock must remove its (bucketed) entry — passing one of those
+//! very shards — before it looks up wakeups, so it cannot slip between
+//! the decision and the registration and lose the wakeup. That hold only
+//! serializes releases against the *same* table generation, so after
+//! registering, `request` re-checks the history generation — a release
+//! that consulted a newer table forces the bumped generation visible via
+//! the shared wake-shard mutex — and on a move retracts the registration
+//! and re-decides against the new view. Under
+//! concurrency, two requests may still decide against covers that each
+//! other's in-flight entries would have completed — the same
+//! monitor-detectable window the paper already tolerates for yield cycles
+//! (§3); the differential proptest pins the sequential semantics to
+//! [`crate::reference::ReferenceCore`] exactly.
 //!
 //! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
 //! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
 //! threads (via `dimmunix-threadsim`) drive the same decision logic. The
 //! pre-refactor single-lock engine is preserved as
 //! [`crate::reference::ReferenceCore`] for differential testing and as the
-//! benchmark baseline.
+//! benchmark baseline; [`Guarded`] (the Peterson-style tournament guard of
+//! §5.6) now exists for its sake.
 
 use crate::config::{Config, GuardKind, RuntimeMode};
 use crate::event::{Event, YieldInfo};
 use crate::lanes::EventLanes;
 use crate::stats::Stats;
-use dimmunix_lockfree::{CachePadded, EpochCell, FilterLock, SlotAllocator, TournamentLock};
+use dimmunix_lockfree::{
+    mix64, CachePadded, EpochCell, FilterLock, OccupancyArray, SlotAllocator, TournamentLock,
+};
 use dimmunix_rag::{LockId, ThreadId, YieldCause};
 use dimmunix_signature::{
-    suffix_matches, suffix_of, FrameId, History, MatchIndex, Signature, StackId, StackTable,
+    suffix_hash, suffix_matches, suffix_of, CallStack, CoverKeys, FrameId, History, MatchIndex,
+    MemberKey, Signature, StackId, StackTable,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -120,9 +158,7 @@ impl OwnerTable {
     }
 
     fn shard(&self, l: LockId) -> &OwnerShard {
-        // Fibonacci hashing spreads sequential lock ids across shards.
-        let h = (l.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
-        &self.shards[h & (OWNER_SHARDS - 1)]
+        &self.shards[(mix64(l.0) as usize) & (OWNER_SHARDS - 1)]
     }
 
     fn acquire(&self, l: LockId, t: ThreadId) {
@@ -149,10 +185,126 @@ impl OwnerTable {
     }
 }
 
+/// One bucket shard: `depth → suffix → Allowed entries`. Keyed two-level so
+/// lookups borrow the probe suffix (no per-request key allocation).
+type BucketShard = HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>;
+
+/// The sharded `Allowed` buckets of one history generation, plus their
+/// occupancy fingerprints. Owned by the [`MatchView`] that published it;
+/// replaced wholesale on rebuild.
+pub(crate) struct MatchTable {
+    shards: Box<[CachePadded<Mutex<BucketShard>>]>,
+    /// Exact per-bucket occupancy counters (see module docs): incremented
+    /// *before* an insert becomes visible, decremented only *after* an
+    /// actual removal, so a zero read always proves emptiness.
+    occupancy: OccupancyArray,
+    mask: u64,
+    /// Set once the rebuild sweep has merged every per-thread log; covers
+    /// and direct bucket inserts wait for it.
+    swept: AtomicBool,
+}
+
+impl MatchTable {
+    fn new(shards: usize, occupancy_slots: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n)
+                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+                .collect(),
+            occupancy: OccupancyArray::new(occupancy_slots),
+            mask: (n - 1) as u64,
+            swept: AtomicBool::new(false),
+        }
+    }
+
+    /// An empty, already-swept table (for the sentinel view).
+    fn sentinel() -> Self {
+        let table = Self::new(1, 1);
+        table.swept.store(true, Ordering::Release);
+        table
+    }
+
+    #[inline]
+    fn shard_index(&self, hash: u64) -> usize {
+        (hash & self.mask) as usize
+    }
+
+    /// Inserts `e` into the bucket for `(d, suffix)`. The occupancy bump
+    /// precedes the insert so a concurrent zero read never misses a live
+    /// entry.
+    fn insert(&self, d: u8, suffix: &[FrameId], hash: u64, e: AllowedEntry) {
+        self.occupancy.increment(hash);
+        let mut shard = self.shards[self.shard_index(hash)].lock();
+        let per_depth = shard.entry(d).or_default();
+        if let Some(v) = per_depth.get_mut(suffix) {
+            v.push(e);
+        } else {
+            per_depth.insert(suffix.into(), vec![e]);
+        }
+    }
+
+    /// Removes `e` from the bucket for `(d, suffix)`; tolerant of the entry
+    /// being absent (it may never have been bucketed in *this* table). The
+    /// fingerprint is only decremented for an actual removal.
+    fn remove(&self, d: u8, suffix: &[FrameId], hash: u64, e: AllowedEntry) {
+        let removed = {
+            let mut shard = self.shards[self.shard_index(hash)].lock();
+            shard
+                .get_mut(&d)
+                .and_then(|per_depth| per_depth.get_mut(suffix))
+                .and_then(|v| v.iter().position(|x| *x == e).map(|pos| v.swap_remove(pos)))
+                .is_some()
+        };
+        if removed {
+            self.occupancy.decrement(hash);
+        }
+    }
+
+    /// Locks the given shards (indices must be ascending and deduplicated —
+    /// the canonical order that keeps concurrent cover searches
+    /// deadlock-free).
+    fn lock_shards(&self, sorted_ids: &[usize]) -> LockedShards<'_> {
+        debug_assert!(sorted_ids.windows(2).all(|w| w[0] < w[1]));
+        LockedShards {
+            guards: sorted_ids
+                .iter()
+                .map(|&i| (i, self.shards[i].lock()))
+                .collect(),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let mut n = self.occupancy.len() * core::mem::size_of::<u32>();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for per_depth in shard.values() {
+                for (k, v) in per_depth {
+                    n += k.len() * core::mem::size_of::<FrameId>()
+                        + v.len() * core::mem::size_of::<AllowedEntry>();
+                }
+            }
+        }
+        n
+    }
+}
+
+/// A set of held bucket-shard guards, keyed by shard index, for one
+/// exact-cover search.
+struct LockedShards<'a> {
+    guards: Vec<(usize, MutexGuard<'a, BucketShard>)>,
+}
+
+impl LockedShards<'_> {
+    fn bucket(&self, shard: usize, d: u8, suffix: &[FrameId]) -> Option<&Vec<AllowedEntry>> {
+        let (_, guard) = self.guards.iter().find(|(i, _)| *i == shard)?;
+        guard.get(&d)?.get(suffix)
+    }
+}
+
 /// The read-mostly snapshot `request` consults without any lock: which
-/// matching depths are enabled and (when configured) the suffix index over
-/// signature members. Published via [`EpochCell`] whenever the history
-/// generation moves.
+/// matching depths are enabled, the suffix index over signature members
+/// (when configured), and the current bucket table. Published via
+/// [`EpochCell`] whenever the history generation moves.
 pub(crate) struct MatchView {
     /// History generation this view was built from (`u64::MAX` = never).
     generation: u64,
@@ -160,6 +312,8 @@ pub(crate) struct MatchView {
     depths: Vec<u8>,
     /// Suffix index over signature members (`None` in linear-scan mode).
     index: Option<Arc<MatchIndex>>,
+    /// The sharded buckets + occupancy fingerprints of this generation.
+    table: Arc<MatchTable>,
 }
 
 impl MatchView {
@@ -168,77 +322,43 @@ impl MatchView {
             generation: u64::MAX,
             depths: Vec::new(),
             index: None,
+            table: Arc::new(MatchTable::sentinel()),
         }
     }
 
     /// Whether an `Allowed` entry with these frames could ever participate
     /// in an exact cover under this view. `false` means the entry can stay
     /// in its thread's private log and skip the shared buckets entirely.
+    ///
+    /// In linear-scan mode (no index) every entry is conservatively
+    /// relevant once the history is non-empty, matching the reference
+    /// engine's bucket-everything behavior.
     fn is_relevant(&self, frames: &[FrameId]) -> bool {
-        relevance(&self.depths, self.index.as_deref(), frames)
-    }
-}
-
-/// The single relevance predicate shared by the published view and the
-/// guarded state: the two must agree exactly, or guarded inserts and
-/// fast-path/release checks would diverge and leak (or lose) bucket
-/// entries.
-///
-/// In linear-scan mode (no index) every entry is conservatively relevant
-/// once the history is non-empty, matching the reference engine's
-/// bucket-everything behavior.
-fn relevance(depths: &[u8], index: Option<&MatchIndex>, frames: &[FrameId]) -> bool {
-    if depths.is_empty() {
-        return false;
-    }
-    match index {
-        Some(ix) => ix.candidates(frames).next().is_some(),
-        None => true,
-    }
-}
-
-/// The guarded shared match state: the suffix-keyed `Allowed` buckets
-/// consulted by the exact-cover search, the yielding bookkeeping, and the
-/// generation marker of the last rebuild.
-struct MatchState {
-    /// `Allowed` entries bucketed by depth-truncated stack suffix, one inner
-    /// map per matching depth present in the history. This realizes the
-    /// paper's per-call-stack `Allowed` sets: instantiating a signature
-    /// means looking up each member stack's bucket, and "in most cases at
-    /// least one of these sets is empty". Only entries whose suffix hits a
-    /// signature member are bucketed (see [`MatchView::is_relevant`]).
-    buckets: HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>,
-    /// Distinct matching depths present in the (enabled) history.
-    depths: Vec<u8>,
-    /// Suffix index over signature members, rebuilt with the buckets.
-    index: Option<Arc<MatchIndex>>,
-    /// Currently yielding threads and the `(cause thread, cause lock)` pairs
-    /// they wait out.
-    yielding: HashMap<ThreadId, Vec<(ThreadId, LockId)>>,
-    /// Reverse index: `(cause thread, cause lock)` → threads yielding on
-    /// that cause, so `release` computes wakeups with one hash lookup
-    /// instead of scanning every yielder's cause list.
-    wake_index: HashMap<(ThreadId, LockId), Vec<ThreadId>>,
-    /// History generation the buckets/depths were built for.
-    built_gen: u64,
-}
-
-impl MatchState {
-    fn new() -> Self {
-        Self {
-            buckets: HashMap::new(),
-            depths: Vec::new(),
-            index: None,
-            yielding: HashMap::new(),
-            wake_index: HashMap::new(),
-            built_gen: u64::MAX,
+        if self.depths.is_empty() {
+            return false;
+        }
+        match &self.index {
+            Some(ix) => ix.matches_any(frames),
+            None => true,
         }
     }
 }
 
+/// Outcome of revalidating a slot's cached view against the history.
+enum ViewCheck {
+    /// The published view predates the current history generation.
+    Stale,
+    /// The view is current but its rebuild sweep is still in flight.
+    Unswept,
+    /// Current view; the frames hit no signature-member bucket.
+    Irrelevant,
+    /// Current, fully swept view; the frames hit a member bucket.
+    Relevant(Arc<MatchView>),
+}
+
 /// State of type `T` behind the configured mutual-exclusion guard
-/// (tournament tree / filter lock / mutex). Shared with the reference
-/// engine so both are guarded identically.
+/// (tournament tree / filter lock / mutex). Used by the reference engine;
+/// the production engine's state is sharded instead.
 pub(crate) struct Guarded<T> {
     cell: UnsafeCell<T>,
     guard: GuardImpl,
@@ -322,13 +442,22 @@ impl Default for AllowedLog {
 #[derive(Default)]
 pub(crate) struct ThreadSlot {
     pub(crate) yield_state: Mutex<YieldState>,
+    /// Cheap mirror of "`yield_state` holds anything worth clearing", so
+    /// the GO path skips the mutex when the state is already clean. Only
+    /// the owner thread stores `true` (when recording a yield), so a stale
+    /// `false` read is impossible.
+    yield_set: AtomicBool,
     /// This thread's private `Allowed` log and view cache. Locked by the
     /// owning thread on every hook and by rebuild sweeps; never contended
     /// in steady state.
     allowed: Mutex<AllowedLog>,
-    /// Mirror of "this thread has an entry in the global yielding map",
-    /// maintained under the global guard, read by the owner thread to
-    /// decide whether a request may skip the guard.
+    /// The causes `(cause thread, cause lock)` of this thread's current
+    /// yield; empty when not yielding. The sharded successor of the old
+    /// global yielding map: membership is per-slot, the reverse index is
+    /// in the wake shards.
+    yield_causes: Mutex<Vec<(ThreadId, LockId)>>,
+    /// Mirror of "`yield_causes` is non-empty", read by the owner thread to
+    /// decide whether a request must do yield-map maintenance.
     in_yielding: AtomicBool,
 }
 
@@ -352,36 +481,39 @@ struct Instance {
     bindings: Vec<(StackId, StackId)>,
 }
 
+/// Number of wake-index shards (power of two).
+const WAKE_SHARDS: usize = 64;
+
+/// One wake-index shard: `(cause thread, cause lock) → yielding threads`.
+type WakeShard = Mutex<HashMap<(ThreadId, LockId), Vec<ThreadId>>>;
+
 /// The avoidance engine. One per runtime.
 pub struct AvoidanceCore {
-    state: Guarded<MatchState>,
     slots: Box<[ThreadSlot]>,
     slot_alloc: SlotAllocator,
     owner: OwnerTable,
     /// Published match view; `request` revalidates its per-slot cache with
     /// one epoch load.
     view_cell: EpochCell<MatchView>,
-    /// Racy mirror of `MatchState::yielding.len()`, written under the
-    /// guard. A fast-path `release` may skip the guard only when this is 0
-    /// *and* its entry was never bucketed; yields caused by bucketed
-    /// entries always force their releaser through the guard, so the race
-    /// cannot lose a wakeup.
+    /// Reverse index over yield causes, sharded by `(thread, lock)` hash.
+    wake_shards: Box<[CachePadded<WakeShard>]>,
+    /// Number of currently yielding threads (exact: transitions happen
+    /// under the owning slot's `yield_causes` mutex). A fast-path `release`
+    /// may skip the wake lookup only when this is 0 *and* its entry was
+    /// never bucketed; yields caused by bucketed entries always force
+    /// their releaser through the wake shard, so the race cannot lose a
+    /// wakeup.
     yielder_count: AtomicUsize,
-    /// Serializes the maintenance users of the guard's single reserved
-    /// slot (`slots.len()`): the Peterson-style guards only exclude
-    /// *distinct* slot indices, so the monitor's `refresh_published` and
-    /// any `approx_bytes` caller must take this mutex before entering the
-    /// guard with the shared maintenance slot.
-    maint: Mutex<()>,
+    /// Serializes match-state rebuilds (table + index build, publication,
+    /// and the per-slot log sweep). Hooks never hold any other engine lock
+    /// while taking it.
+    rebuild_lock: Mutex<()>,
     history: Arc<History>,
     stacks: Arc<StackTable>,
     lanes: Arc<EventLanes>,
     stats: Arc<Stats>,
     config: Config,
 }
-
-/// Reserved guard slot for maintenance access (resource accounting).
-const MAINT_SLOT_OFFSET: usize = 1;
 
 impl AvoidanceCore {
     /// Creates the engine.
@@ -394,13 +526,15 @@ impl AvoidanceCore {
     ) -> Self {
         let n = config.max_threads;
         Self {
-            state: Guarded::new(config.guard, n + MAINT_SLOT_OFFSET, MatchState::new()),
             slots: (0..n).map(|_| ThreadSlot::default()).collect(),
             slot_alloc: SlotAllocator::new(n),
             owner: OwnerTable::new(),
             view_cell: EpochCell::new(Arc::new(MatchView::sentinel())),
+            wake_shards: (0..WAKE_SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+                .collect(),
             yielder_count: AtomicUsize::new(0),
-            maint: Mutex::new(()),
+            rebuild_lock: Mutex::new(()),
             history,
             stacks,
             lanes,
@@ -430,20 +564,25 @@ impl AvoidanceCore {
             let mut ys = self.slots[slot].yield_state.lock();
             *ys = YieldState::default();
         }
+        self.slots[slot].yield_set.store(false, Ordering::Relaxed);
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(slot, |state| {
-                Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
-                // Drop any Allowed entries the thread leaked; bucket removal
-                // is tolerant, so unfiltered attempts are fine here.
-                let drained: Vec<(LockId, Vec<StackId>)> =
-                    self.slots[slot].allowed.lock().entries.drain().collect();
+            self.remove_yielding(t);
+            // Drop any Allowed entries the thread leaked; bucket removal is
+            // tolerant, so unfiltered attempts are fine here.
+            let (drained, view) = {
+                let mut log = self.slots[slot].allowed.lock();
+                let drained: Vec<(LockId, Vec<StackId>)> = log.entries.drain().collect();
+                let view = Arc::clone(self.view_of(&mut log));
+                (drained, view)
+            };
+            if !view.depths.is_empty() {
                 for (l, stacks) in drained {
                     for stack in stacks {
                         let frames = self.stacks.resolve(stack);
-                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
+                        Self::remove_buckets(&view, &frames, AllowedEntry { t, l, stack });
                     }
                 }
-            });
+            }
         }
         self.lanes.push(slot, Event::ThreadExit { t });
         self.slot_alloc.release(slot);
@@ -467,73 +606,112 @@ impl AvoidanceCore {
         log.view.as_ref().expect("view cache populated above")
     }
 
+    /// Revalidates the slot's cached view (slot lock held) and classifies
+    /// what the hook may do with `frames` under it.
+    fn check_view(&self, log: &mut AllowedLog, frames: &[FrameId]) -> ViewCheck {
+        let view = self.view_of(log);
+        if view.generation != self.history.generation() {
+            return ViewCheck::Stale;
+        }
+        if !view.is_relevant(frames) {
+            return ViewCheck::Irrelevant;
+        }
+        if !view.table.swept.load(Ordering::Acquire) {
+            return ViewCheck::Unswept;
+        }
+        ViewCheck::Relevant(Arc::clone(view))
+    }
+
     /// The `request` hook: decides GO or YIELD for thread `t` wanting lock
     /// `l` with call stack `frames`/`stack` (§5.4).
     pub fn request(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) -> Decision {
-        Stats::bump(&self.stats.requests);
         let slot = t.0 as usize;
+        Stats::bump(&self.stats.hot(slot).requests);
         self.lanes.push(slot, Event::Request { t, l, stack });
 
         if self.config.mode == RuntimeMode::InstrumentationOnly {
-            Stats::bump(&self.stats.gos);
+            Stats::bump(&self.stats.hot(slot).gos);
             self.lanes.push(slot, Event::Go { t, l, stack });
             return Decision::Go;
         }
 
-        // Fast path: if the published view is current, the suffix hits no
-        // signature member, and we are not in the global yielding map, the
-        // decision is GO and the entry stays in our private log — no guard.
-        if !self.slots[slot].in_yielding.load(Ordering::Relaxed) {
-            let mut log = self.slots[slot].allowed.lock();
-            let view = self.view_of(&mut log);
-            if view.generation == self.history.generation() && !view.is_relevant(frames) {
-                log.entries.entry(l).or_default().push(stack);
-                drop(log);
-                self.clear_yield_state(slot);
-                Stats::bump(&self.stats.gos);
-                self.lanes.push(slot, Event::Go { t, l, stack });
-                return Decision::Go;
-            }
-        }
-
         let full = self.config.mode == RuntimeMode::Full;
-        let instance = self.state.with(slot, |state| {
-            self.refresh(state);
-            let instance = if full && !state.depths.is_empty() {
-                self.find_instance(state, t, l, frames, stack)
-            } else {
-                None
-            };
-            match instance {
-                None => {
-                    self.add_entry_guarded(state, slot, t, l, frames, stack);
-                    Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
-                    None
+        let instance = loop {
+            let was_yielding = self.slots[slot].in_yielding.load(Ordering::Relaxed);
+            let mut log = self.slots[slot].allowed.lock();
+            match self.check_view(&mut log, frames) {
+                ViewCheck::Stale => {
+                    drop(log);
+                    self.rebuild();
                 }
-                Some(inst) => {
-                    if self.config.enforce_yields {
-                        Self::insert_yielding(
-                            state,
-                            &self.slots,
-                            &self.yielder_count,
-                            t,
-                            inst.causes.iter().map(|c| (c.thread, c.lock)).collect(),
-                        );
+                ViewCheck::Unswept => {
+                    drop(log);
+                    drop(self.rebuild_lock.lock());
+                }
+                ViewCheck::Irrelevant => {
+                    // Cover impossible: the suffix hits no member bucket, so
+                    // the decision is GO and the entry stays in the private
+                    // log — no shared state touched (beyond yield cleanup).
+                    self.record_go(log, None, was_yielding, t, l, frames, stack);
+                    break None;
+                }
+                ViewCheck::Relevant(view) => {
+                    let found = if full {
+                        self.find_instance(&view, slot, t, l, frames, stack)
                     } else {
-                        // Measurement mode: record the would-be yield but
-                        // proceed as GO.
-                        self.add_entry_guarded(state, slot, t, l, frames, stack);
-                        Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
+                        None
+                    };
+                    match found {
+                        None => {
+                            self.record_go(log, Some(&view), was_yielding, t, l, frames, stack);
+                            break None;
+                        }
+                        Some((inst, locked)) => {
+                            if self.config.enforce_yields {
+                                // Register in the wake shards while still
+                                // holding the cover's member shards: a
+                                // concurrent release of a cause lock must
+                                // pass its entry's (locked) bucket shard
+                                // before its wake lookup, so it cannot slip
+                                // between this decision and the
+                                // registration and lose the wakeup.
+                                self.insert_yielding(
+                                    t,
+                                    inst.causes.iter().map(|c| (c.thread, c.lock)).collect(),
+                                );
+                                drop(locked);
+                                drop(log);
+                                // Rebuild-boundary guard: the shard hold
+                                // only serializes releases against *this*
+                                // view's table. If the generation moved, a
+                                // cause release may already have consulted
+                                // the newly published table — and then the
+                                // wake-shard hand-off guarantees this load
+                                // sees the new generation — so retract the
+                                // registration and re-decide.
+                                if view.generation != self.history.generation() {
+                                    self.remove_yielding(t);
+                                    continue;
+                                }
+                            } else {
+                                // Measurement mode: record the would-be
+                                // yield but proceed as GO. The cover's
+                                // shards must unlock first — the insert
+                                // re-locks some of them.
+                                drop(locked);
+                                self.record_go(log, Some(&view), was_yielding, t, l, frames, stack);
+                            }
+                            break Some(inst);
+                        }
                     }
-                    Some(inst)
                 }
             }
-        });
+        };
 
         match instance {
             None => {
                 self.clear_yield_state(slot);
-                Stats::bump(&self.stats.gos);
+                Stats::bump(&self.stats.hot(slot).gos);
                 self.lanes.push(slot, Event::Go { t, l, stack });
                 Decision::Go
             }
@@ -552,9 +730,10 @@ impl AvoidanceCore {
                     ys.causes = inst.causes;
                     ys.sig = Some(Arc::clone(&inst.sig));
                     ys.broken = false;
+                    self.slots[slot].yield_set.store(true, Ordering::Relaxed);
                     Decision::Yield { sig: inst.sig }
                 } else {
-                    Stats::bump(&self.stats.gos);
+                    Stats::bump(&self.stats.hot(slot).gos);
                     self.lanes.push(slot, Event::Go { t, l, stack });
                     Decision::Go
                 }
@@ -564,29 +743,25 @@ impl AvoidanceCore {
 
     /// Grants the lock request without consulting the history — used when a
     /// yield is broken by the monitor or times out: the thread "pursues its
-    /// most recently requested lock" (§3). Always guarded: it almost always
-    /// has a yielding entry to clean up.
+    /// most recently requested lock" (§3).
     pub fn force_go(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
         let slot = t.0 as usize;
         if self.config.mode != RuntimeMode::InstrumentationOnly {
-            self.state.with(slot, |state| {
-                self.refresh(state);
-                self.add_entry_guarded(state, slot, t, l, frames, stack);
-                Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
-            });
+            self.record_entry(slot, t, l, frames, stack);
+            self.remove_yielding(t);
         }
         self.clear_yield_state(slot);
-        Stats::bump(&self.stats.gos);
+        Stats::bump(&self.stats.hot(slot).gos);
         self.lanes.push(slot, Event::Go { t, l, stack });
     }
 
     /// The `acquired` hook: the lock was actually obtained. Touches only the
-    /// owner shard for this lock — never the global guard.
+    /// owner shard for this lock.
     pub fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             self.owner.acquire(l, t);
         }
-        Stats::bump(&self.stats.acquisitions);
+        Stats::bump(&self.stats.hot(t.0 as usize).acquisitions);
         self.lanes
             .push(t.0 as usize, Event::Acquired { t, l, stack });
     }
@@ -594,7 +769,7 @@ impl AvoidanceCore {
     /// Reentrant re-acquisition (Java monitor / recursive mutex): no
     /// decision is needed — a thread cannot deadlock against itself — but
     /// the hold multiset gains a level (§5.1) and the `Allowed` entry for
-    /// this nesting level is recorded (guardless when the suffix hits no
+    /// this nesting level is recorded (log-only when the suffix hits no
     /// bucket).
     pub fn acquired_reentrant(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
         let slot = t.0 as usize;
@@ -602,12 +777,38 @@ impl AvoidanceCore {
             self.record_entry(slot, t, l, frames, stack);
             self.owner.acquire(l, t);
         }
-        Stats::bump(&self.stats.acquisitions);
+        Stats::bump(&self.stats.hot(slot).acquisitions);
         self.lanes.push(slot, Event::Acquired { t, l, stack });
     }
 
-    /// Records an `Allowed` entry outside a decision: fast (log-only) when
-    /// the current view says the suffix hits no bucket, guarded otherwise.
+    /// GO bookkeeping shared by every granting path: appends the entry to
+    /// the private log (and, when the view bucketed this suffix, to the
+    /// bucket shards — under the slot lock, see the rebuild protocol), then
+    /// clears any yield registration.
+    #[allow(clippy::too_many_arguments)] // Packed grant-bookkeeping inputs.
+    fn record_go(
+        &self,
+        mut log: MutexGuard<'_, AllowedLog>,
+        view: Option<&MatchView>,
+        was_yielding: bool,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) {
+        log.entries.entry(l).or_default().push(stack);
+        if let Some(view) = view {
+            Self::insert_buckets(view, frames, AllowedEntry { t, l, stack });
+        }
+        drop(log);
+        if was_yielding {
+            self.remove_yielding(t);
+        }
+    }
+
+    /// Records an `Allowed` entry outside a decision: log-only when the
+    /// current view says the suffix hits no bucket, log + shard insert
+    /// otherwise.
     fn record_entry(
         &self,
         slot: usize,
@@ -616,18 +817,27 @@ impl AvoidanceCore {
         frames: &[FrameId],
         stack: StackId,
     ) {
-        {
+        loop {
             let mut log = self.slots[slot].allowed.lock();
-            let view = self.view_of(&mut log);
-            if view.generation == self.history.generation() && !view.is_relevant(frames) {
-                log.entries.entry(l).or_default().push(stack);
-                return;
+            match self.check_view(&mut log, frames) {
+                ViewCheck::Stale => {
+                    drop(log);
+                    self.rebuild();
+                }
+                ViewCheck::Unswept => {
+                    drop(log);
+                    drop(self.rebuild_lock.lock());
+                }
+                ViewCheck::Irrelevant => {
+                    self.record_go(log, None, false, t, l, frames, stack);
+                    return;
+                }
+                ViewCheck::Relevant(view) => {
+                    self.record_go(log, Some(&view), false, t, l, frames, stack);
+                    return;
+                }
             }
         }
-        self.state.with(slot, |state| {
-            self.refresh(state);
-            self.add_entry_guarded(state, slot, t, l, frames, stack);
-        });
     }
 
     /// The `release` hook, invoked **before** the real unlock. Returns the
@@ -638,25 +848,31 @@ impl AvoidanceCore {
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             let slot = t.0 as usize;
             // Pop the innermost entry from our private log and decide —
-            // against the same view its bucket state was built from —
-            // whether the shared buckets ever saw it.
+            // against the view current at pop time — whether the shared
+            // buckets ever saw it.
             let popped = self.pop_entry(slot, l);
             self.owner.release(l, t);
-            let needs_guard = self.yielder_count.load(Ordering::Acquire) > 0
-                || popped.as_ref().is_some_and(|&(_, relevant)| relevant);
-            if needs_guard {
-                self.state.with(slot, |state| {
-                    if let Some((stack, _)) = popped {
-                        let frames = self.stacks.resolve(stack);
-                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
-                    }
-                    if let Some(yielders) = state.wake_index.get(&(t, l)) {
-                        wake.extend(yielders.iter().copied());
-                    }
-                });
+            let mut relevant = false;
+            if let Some((stack, Some((view, frames)))) = &popped {
+                relevant = true;
+                Self::remove_buckets(
+                    view,
+                    frames,
+                    AllowedEntry {
+                        t,
+                        l,
+                        stack: *stack,
+                    },
+                );
+            }
+            if relevant || self.yielder_count.load(Ordering::Acquire) > 0 {
+                let map = self.wake_shard(t, l).lock();
+                if let Some(yielders) = map.get(&(t, l)) {
+                    wake.extend(yielders.iter().copied());
+                }
             }
         }
-        Stats::bump(&self.stats.releases);
+        Stats::bump(&self.stats.hot(t.0 as usize).releases);
         self.lanes.push(t.0 as usize, Event::Release { t, l });
         wake
     }
@@ -667,16 +883,19 @@ impl AvoidanceCore {
         let slot = t.0 as usize;
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             let popped = self.pop_entry(slot, l);
-            let needs_guard = self.slots[slot].in_yielding.load(Ordering::Relaxed)
-                || popped.as_ref().is_some_and(|&(_, relevant)| relevant);
-            if needs_guard {
-                self.state.with(slot, |state| {
-                    if let Some((stack, _)) = popped {
-                        let frames = self.stacks.resolve(stack);
-                        Self::bucket_remove(state, &frames, AllowedEntry { t, l, stack });
-                    }
-                    Self::remove_yielding(state, &self.slots, &self.yielder_count, t);
-                });
+            if let Some((stack, Some((view, frames)))) = &popped {
+                Self::remove_buckets(
+                    view,
+                    frames,
+                    AllowedEntry {
+                        t,
+                        l,
+                        stack: *stack,
+                    },
+                );
+            }
+            if self.slots[slot].in_yielding.load(Ordering::Relaxed) {
+                self.remove_yielding(t);
             }
         }
         self.clear_yield_state(slot);
@@ -684,25 +903,44 @@ impl AvoidanceCore {
     }
 
     /// Pops the innermost `Allowed` entry for `(t, l)` from the slot's
-    /// private log; returns its stack and whether the current view ever
-    /// bucketed it.
-    fn pop_entry(&self, slot: usize, l: LockId) -> Option<(StackId, bool)> {
+    /// private log; returns its stack and, when the entry may be bucketed
+    /// under the currently published view, that view (to remove it from)
+    /// together with the already-resolved frames.
+    #[allow(clippy::type_complexity)] // Pop result local to the two callers.
+    fn pop_entry(
+        &self,
+        slot: usize,
+        l: LockId,
+    ) -> Option<(StackId, Option<(Arc<MatchView>, CallStack)>)> {
         let mut log = self.slots[slot].allowed.lock();
         let vec = log.entries.get_mut(&l)?;
         let stack = vec.pop()?;
         if vec.is_empty() {
             log.entries.remove(&l);
         }
+        let view = self.view_of(&mut log);
+        if view.depths.is_empty() {
+            // Empty history: provably never bucketed — skip the resolve.
+            return Some((stack, None));
+        }
         let frames = self.stacks.resolve(stack);
-        let relevant = self.view_of(&mut log).is_relevant(&frames);
-        Some((stack, relevant))
+        if view.is_relevant(&frames) {
+            let view = Arc::clone(view);
+            Some((stack, Some((view, frames))))
+        } else {
+            Some((stack, None))
+        }
     }
 
     fn clear_yield_state(&self, slot: usize) {
+        if !self.slots[slot].yield_set.load(Ordering::Relaxed) {
+            return;
+        }
         let mut ys = self.slots[slot].yield_state.lock();
         ys.causes.clear();
         ys.sig = None;
         ys.broken = false;
+        self.slots[slot].yield_set.store(false, Ordering::Relaxed);
     }
 
     /// Marks `t`'s current yield as broken (monitor starvation breaking).
@@ -724,11 +962,13 @@ impl AvoidanceCore {
     /// Consumes `t`'s broken flag; a yielding thread calls this on wakeup to
     /// learn whether it must proceed without re-consulting the history.
     pub fn take_broken(&self, t: ThreadId) -> bool {
-        let mut ys = self.slots[t.0 as usize].yield_state.lock();
+        let slot = t.0 as usize;
+        let mut ys = self.slots[slot].yield_state.lock();
         if ys.broken {
             ys.broken = false;
             ys.causes.clear();
             ys.sig = None;
+            self.slots[slot].yield_set.store(false, Ordering::Relaxed);
             true
         } else {
             false
@@ -742,17 +982,77 @@ impl AvoidanceCore {
     }
 
     /// Rebuilds the match state — and publishes the match view — if the
-    /// history generation moved. The monitor calls this once per pass (from
-    /// the maintenance guard slot) so steady-state requests never pay for a
-    /// rebuild inline; the guarded hook paths still refresh as a fallback
-    /// for immediacy (e.g. right after `vaccinate`).
+    /// history generation moved. The monitor calls this once per pass so
+    /// steady-state requests never pay for a rebuild inline; the hook paths
+    /// still rebuild as a fallback for immediacy (e.g. right after
+    /// `vaccinate`).
     pub(crate) fn refresh_published(&self) {
         if self.view_cell.load().generation == self.history.generation() {
             return;
         }
-        let _m = self.maint.lock();
-        self.state
-            .with(self.slots.len(), |state| self.refresh(state));
+        self.rebuild();
+    }
+
+    /// Builds a fresh table + index for the current generation, publishes
+    /// the new view, then sweeps every per-thread log into the fresh
+    /// buckets. See the module docs for the publication-before-sweep
+    /// protocol. Callers must hold no other engine lock.
+    fn rebuild(&self) {
+        let _g = self.rebuild_lock.lock();
+        let gen = self.history.generation();
+        if self.view_cell.load().generation == gen {
+            // Raced with another rebuilder; its sweep finished before the
+            // rebuild lock was handed over.
+            return;
+        }
+        Stats::bump(&self.stats.rebuilds);
+        let snapshot = self.history.snapshot();
+        let mut depths: Vec<u8> = snapshot
+            .iter()
+            .filter(|s| !s.is_disabled())
+            .map(|s| s.depth())
+            .collect();
+        depths.sort_unstable();
+        depths.dedup();
+        let index = if self.config.use_match_index {
+            Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
+        } else {
+            None
+        };
+        let view = Arc::new(MatchView {
+            generation: gen,
+            depths,
+            index,
+            table: Arc::new(MatchTable::new(
+                self.config.match_shards,
+                self.config.occupancy_slots,
+            )),
+        });
+        self.view_cell.publish(Arc::clone(&view));
+        // Sweep every per-thread log into the fresh buckets, in slot order
+        // and sorted by lock id within a slot, so the rebuilt bucket vectors
+        // are deterministic (cover search — and hence yield causes — must
+        // not depend on hash-map iteration order).
+        for (slot_idx, slot) in self.slots.iter().enumerate() {
+            let t = ThreadId(slot_idx as u64);
+            let mut log = slot.allowed.lock();
+            let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
+            locks.sort_unstable();
+            for l in locks {
+                for &stack in &log.entries[&l] {
+                    let frames = self.stacks.resolve(stack);
+                    if view.is_relevant(&frames) {
+                        Self::insert_buckets(&view, &frames, AllowedEntry { t, l, stack });
+                    }
+                }
+            }
+            // Drop the slot's cached view: an idle thread must not keep the
+            // retired generation's whole bucket table alive until its next
+            // hook (active threads reload on their next epoch check anyway).
+            log.view = None;
+            log.view_epoch = u64::MAX;
+        }
+        view.table.swept.store(true, Ordering::Release);
     }
 
     /// Approximate heap footprint of the avoidance state, in bytes (§7.4).
@@ -769,190 +1069,135 @@ impl AvoidanceCore {
                     .map(|v| v.len() * core::mem::size_of::<StackId>())
                     .sum::<usize>();
         }
-        total += {
-            // Maintenance guard slot is shared with the monitor's
-            // refresh_published; serialize through `maint`.
-            let _m = self.maint.lock();
-            self.state.with(self.slots.len(), |state| {
-                let mut n = 0;
-                for per_depth in state.buckets.values() {
-                    for (k, v) in per_depth {
-                        n += k.len() * core::mem::size_of::<FrameId>()
-                            + v.len() * core::mem::size_of::<AllowedEntry>();
-                    }
-                }
-                n
-            })
-        };
+        total += self.view_cell.load().table.approx_bytes();
         total += self.owner.len()
             * (core::mem::size_of::<LockId>() + core::mem::size_of::<(ThreadId, u32)>());
         total + self.slots.len() * core::mem::size_of::<ThreadSlot>()
     }
 
-    /// Rebuilds depth buckets, the match index and the published view if the
-    /// history changed. Publication happens *before* the per-thread log
-    /// sweep — see the module docs for why that ordering closes the race
-    /// with guardless fast-path appends.
-    fn refresh(&self, state: &mut MatchState) {
-        let gen = self.history.generation();
-        if state.built_gen == gen {
-            return;
+    /// Inserts the entry into the view's buckets at every enabled depth.
+    fn insert_buckets(view: &MatchView, frames: &[FrameId], e: AllowedEntry) {
+        for &d in &view.depths {
+            let suffix = suffix_of(frames, d as usize);
+            view.table.insert(d, suffix, suffix_hash(d, suffix), e);
         }
-        let snapshot = self.history.snapshot();
-        let mut depths: Vec<u8> = snapshot
-            .iter()
-            .filter(|s| !s.is_disabled())
-            .map(|s| s.depth())
-            .collect();
-        depths.sort_unstable();
-        depths.dedup();
-        state.depths = depths.clone();
-        state.index = if self.config.use_match_index {
-            Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
+    }
+
+    /// Removes `e` from the view's buckets at every enabled depth; tolerant
+    /// of the entry being absent (it may never have been bucketed).
+    fn remove_buckets(view: &MatchView, frames: &[FrameId], e: AllowedEntry) {
+        for &d in &view.depths {
+            let suffix = suffix_of(frames, d as usize);
+            view.table.remove(d, suffix, suffix_hash(d, suffix), e);
+        }
+    }
+
+    #[inline]
+    fn wake_shard(&self, t: ThreadId, l: LockId) -> &WakeShard {
+        let h = mix64(t.0.rotate_left(32) ^ l.0) as usize;
+        &self.wake_shards[h & (WAKE_SHARDS - 1)]
+    }
+
+    /// Registers `t` as yielding on `causes`: updates its slot's cause
+    /// list, the wake shards, the yielder count and the slot flag.
+    fn insert_yielding(&self, t: ThreadId, causes: Vec<(ThreadId, LockId)>) {
+        let slot = &self.slots[t.0 as usize];
+        let mut yc = slot.yield_causes.lock();
+        if yc.is_empty() {
+            self.yielder_count.fetch_add(1, Ordering::Release);
         } else {
-            None
+            for cause in yc.drain(..) {
+                self.wake_unindex(cause, t);
+            }
+        }
+        for &cause in &causes {
+            self.wake_shard(cause.0, cause.1)
+                .lock()
+                .entry(cause)
+                .or_default()
+                .push(t);
+        }
+        *yc = causes;
+        slot.in_yielding.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes `t` from the yielding bookkeeping (no-op when not yielding).
+    fn remove_yielding(&self, t: ThreadId) {
+        let Some(slot) = self.slots.get(t.0 as usize) else {
+            return;
         };
-        state.built_gen = gen;
-        self.view_cell.publish(Arc::new(MatchView {
-            generation: gen,
-            depths,
-            index: state.index.clone(),
-        }));
-        state.buckets.clear();
-        // Sweep every per-thread log into the fresh buckets, in slot order
-        // and sorted by lock id within a slot, so the rebuilt bucket vectors
-        // are deterministic (cover search — and hence yield causes — must
-        // not depend on hash-map iteration order).
-        for (slot_idx, slot) in self.slots.iter().enumerate() {
-            let t = ThreadId(slot_idx as u64);
-            let log = slot.allowed.lock();
-            let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
-            locks.sort_unstable();
-            for l in locks {
-                for &stack in &log.entries[&l] {
-                    let frames = self.stacks.resolve(stack);
-                    if Self::relevant_in(state, &frames) {
-                        Self::bucket_insert(state, &frames, AllowedEntry { t, l, stack });
-                    }
-                }
+        let mut yc = slot.yield_causes.lock();
+        if !yc.is_empty() {
+            for cause in yc.drain(..) {
+                self.wake_unindex(cause, t);
+            }
+            self.yielder_count.fetch_sub(1, Ordering::Release);
+        }
+        slot.in_yielding.store(false, Ordering::Relaxed);
+    }
+
+    fn wake_unindex(&self, cause: (ThreadId, LockId), t: ThreadId) {
+        let mut map = self.wake_shard(cause.0, cause.1).lock();
+        if let Some(v) = map.get_mut(&cause) {
+            if let Some(pos) = v.iter().position(|&x| x == t) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                map.remove(&cause);
             }
         }
     }
 
-    /// [`relevance`] against the guarded state (same predicate as the view).
-    fn relevant_in(state: &MatchState, frames: &[FrameId]) -> bool {
-        relevance(&state.depths, state.index.as_deref(), frames)
+    /// Precomputes member bucket keys for `sig` at depth `d` (used when the
+    /// index's cached keys are stale or absent).
+    fn member_keys_at(&self, sig: &Signature, d: u8) -> Vec<MemberKey> {
+        CoverKeys::compute(sig, d, &self.stacks).members
     }
 
-    fn bucket_insert(state: &mut MatchState, frames: &[FrameId], e: AllowedEntry) {
-        for &d in &state.depths {
-            let suffix = suffix_of(frames, d as usize);
-            let per_depth = state.buckets.entry(d).or_default();
-            if let Some(v) = per_depth.get_mut(suffix) {
-                v.push(e);
-            } else {
-                per_depth.insert(suffix.into(), vec![e]);
-            }
-        }
+    /// The guard-free cover precheck: a signature can only be instantiated
+    /// if every non-anchor member bucket is non-empty, so one zero
+    /// occupancy fingerprint refutes the candidate without locking.
+    fn cover_possible(view: &MatchView, keys: &[MemberKey], anchor: usize) -> bool {
+        keys.iter()
+            .enumerate()
+            .all(|(i, mk)| i == anchor || view.table.occupancy.possibly_nonempty(mk.hash))
     }
 
-    /// Removes `e` from the buckets at every built depth; tolerant of the
-    /// entry being absent (it may never have been bucketed).
-    fn bucket_remove(state: &mut MatchState, frames: &[FrameId], e: AllowedEntry) {
-        for &d in &state.depths {
-            let suffix = suffix_of(frames, d as usize);
-            if let Some(per_depth) = state.buckets.get_mut(&d) {
-                if let Some(v) = per_depth.get_mut(suffix) {
-                    if let Some(pos) = v.iter().position(|x| *x == e) {
-                        v.swap_remove(pos);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Appends the entry to the slot's private log and, when its suffix hits
-    /// a signature member under the freshly built state, to the shared
-    /// buckets. The insertion filter must mirror the release-time relevance
-    /// check exactly, or released entries would linger in the buckets.
-    fn add_entry_guarded(
+    /// Searches the history for a signature that the tentative allow edge
+    /// `(t, l, stack)` would instantiate (§5.4). On a hit, the successful
+    /// cover's shard guards are returned still held, so the caller can
+    /// register the yield in the wake shards before any release of a cause
+    /// entry can get past its bucket shard (see `request`).
+    fn find_instance<'v>(
         &self,
-        state: &mut MatchState,
+        view: &'v MatchView,
         slot: usize,
         t: ThreadId,
         l: LockId,
         frames: &[FrameId],
         stack: StackId,
-    ) {
-        {
-            let mut log = self.slots[slot].allowed.lock();
-            log.entries.entry(l).or_default().push(stack);
-        }
-        if Self::relevant_in(state, frames) {
-            Self::bucket_insert(state, frames, AllowedEntry { t, l, stack });
-        }
-    }
-
-    /// Inserts `t` into the yielding map and the reverse wake index; keeps
-    /// the slot flag and the racy yielder count in sync. Guard-held only.
-    fn insert_yielding(
-        state: &mut MatchState,
-        slots: &[ThreadSlot],
-        count: &AtomicUsize,
-        t: ThreadId,
-        causes: Vec<(ThreadId, LockId)>,
-    ) {
-        Self::remove_yielding(state, slots, count, t);
-        for &cause in &causes {
-            state.wake_index.entry(cause).or_default().push(t);
-        }
-        state.yielding.insert(t, causes);
-        count.store(state.yielding.len(), Ordering::Release);
-        if let Some(slot) = slots.get(t.0 as usize) {
-            slot.in_yielding.store(true, Ordering::Relaxed);
-        }
-    }
-
-    /// Removes `t` from the yielding map and the reverse wake index.
-    /// Guard-held only.
-    fn remove_yielding(
-        state: &mut MatchState,
-        slots: &[ThreadSlot],
-        count: &AtomicUsize,
-        t: ThreadId,
-    ) {
-        if let Some(causes) = state.yielding.remove(&t) {
-            for cause in causes {
-                if let Some(v) = state.wake_index.get_mut(&cause) {
-                    if let Some(pos) = v.iter().position(|&x| x == t) {
-                        v.swap_remove(pos);
-                    }
-                    if v.is_empty() {
-                        state.wake_index.remove(&cause);
-                    }
+    ) -> Option<(Instance, LockedShards<'v>)> {
+        let hot = self.stats.hot(slot);
+        if let Some(index) = &view.index {
+            for (sig, member, keys) in index.candidates(frames) {
+                let d = sig.depth();
+                let fresh_keys;
+                let member_keys: &[MemberKey] = if d == keys.depth {
+                    &keys.members
+                } else {
+                    // Depth changed since the index was built (generation
+                    // bump pending); recompute live like the reference.
+                    fresh_keys = self.member_keys_at(sig, d);
+                    &fresh_keys
+                };
+                if !Self::cover_possible(view, member_keys, member) {
+                    Stats::bump(&hot.precheck_skips);
+                    continue;
                 }
-            }
-            count.store(state.yielding.len(), Ordering::Release);
-        }
-        if let Some(slot) = slots.get(t.0 as usize) {
-            slot.in_yielding.store(false, Ordering::Relaxed);
-        }
-    }
-
-    /// Searches the history for a signature that the tentative allow edge
-    /// `(t, l, stack)` would instantiate (§5.4).
-    fn find_instance(
-        &self,
-        state: &MatchState,
-        t: ThreadId,
-        l: LockId,
-        frames: &[FrameId],
-        stack: StackId,
-    ) -> Option<Instance> {
-        if let Some(index) = &state.index {
-            for (sig, member) in index.candidates(frames) {
-                if let Some(inst) = self.try_cover(state, sig, member, t, l, stack) {
-                    return Some(inst);
+                Stats::bump(&hot.cover_searches);
+                if let Some(found) = self.try_cover(view, sig, d, member_keys, member, t, l, stack)
+                {
+                    return Some(found);
                 }
             }
             None
@@ -963,16 +1208,23 @@ impl AvoidanceCore {
                 if sig.is_disabled() {
                     continue;
                 }
-                let d = sig.depth() as usize;
+                let d = sig.depth();
+                let mut sig_keys: Option<Vec<MemberKey>> = None;
                 for (mi, &mstack) in sig.stacks.iter().enumerate() {
                     // Identical members produce identical searches.
                     if mi > 0 && sig.stacks[mi - 1] == mstack {
                         continue;
                     }
                     let mframes = self.stacks.resolve(mstack);
-                    if suffix_matches(frames, &mframes, d) {
-                        if let Some(inst) = self.try_cover(state, sig, mi, t, l, stack) {
-                            return Some(inst);
+                    if suffix_matches(frames, &mframes, d as usize) {
+                        let keys = sig_keys.get_or_insert_with(|| self.member_keys_at(sig, d));
+                        if !Self::cover_possible(view, keys, mi) {
+                            Stats::bump(&hot.precheck_skips);
+                            continue;
+                        }
+                        Stats::bump(&hot.cover_searches);
+                        if let Some(found) = self.try_cover(view, sig, d, keys, mi, t, l, stack) {
+                            return Some(found);
                         }
                     }
                 }
@@ -983,20 +1235,31 @@ impl AvoidanceCore {
 
     /// Attempts to cover `sig`'s member stacks (anchoring the current thread
     /// at member `anchor`) with distinct `(thread, lock)` entries from the
-    /// `Allowed` buckets — the "exact cover" of §3.
-    fn try_cover(
+    /// `Allowed` buckets — the "exact cover" of §3. Locks only the shards
+    /// of the signature's member suffixes, in ascending shard order; on
+    /// success the guards are returned still held.
+    #[allow(clippy::too_many_arguments)] // Packed cover-search inputs.
+    fn try_cover<'v>(
         &self,
-        state: &MatchState,
+        view: &'v MatchView,
         sig: &Arc<Signature>,
+        d: u8,
+        keys: &[MemberKey],
         anchor: usize,
         t: ThreadId,
         l: LockId,
         stack: StackId,
-    ) -> Option<Instance> {
-        let d = sig.depth();
-        let members: Vec<usize> = (0..sig.stacks.len()).filter(|&i| i != anchor).collect();
+    ) -> Option<(Instance, LockedShards<'v>)> {
+        let members: Vec<usize> = (0..keys.len()).filter(|&i| i != anchor).collect();
+        let mut shard_ids: Vec<usize> = members
+            .iter()
+            .map(|&i| view.table.shard_index(keys[i].hash))
+            .collect();
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let locked = view.table.lock_shards(&shard_ids);
         let mut chosen: Vec<(ThreadId, LockId, StackId, StackId)> = Vec::new();
-        if self.cover_rec(state, sig, d, &members, 0, t, l, &mut chosen) {
+        if Self::cover_rec(view, &locked, d, keys, &members, 0, t, l, &mut chosen) {
             let causes = chosen
                 .iter()
                 .map(|&(ct, cl, cs, _)| YieldCause {
@@ -1007,12 +1270,15 @@ impl AvoidanceCore {
                 .collect();
             let mut bindings = vec![(stack, sig.stacks[anchor])];
             bindings.extend(chosen.iter().map(|&(_, _, cs, ms)| (cs, ms)));
-            Some(Instance {
-                sig: Arc::clone(sig),
-                depth_used: d,
-                causes,
-                bindings,
-            })
+            Some((
+                Instance {
+                    sig: Arc::clone(sig),
+                    depth_used: d,
+                    causes,
+                    bindings,
+                },
+                locked,
+            ))
         } else {
             None
         }
@@ -1020,10 +1286,10 @@ impl AvoidanceCore {
 
     #[allow(clippy::too_many_arguments)] // Recursive helper over packed search state.
     fn cover_rec(
-        &self,
-        state: &MatchState,
-        sig: &Arc<Signature>,
+        view: &MatchView,
+        locked: &LockedShards<'_>,
         d: u8,
+        keys: &[MemberKey],
         members: &[usize],
         i: usize,
         t: ThreadId,
@@ -1033,10 +1299,8 @@ impl AvoidanceCore {
         if i == members.len() {
             return true;
         }
-        let mstack = sig.stacks[members[i]];
-        let mframes = self.stacks.resolve(mstack);
-        let suffix = suffix_of(&mframes, d as usize);
-        let Some(candidates) = state.buckets.get(&d).and_then(|m| m.get(suffix)) else {
+        let mk = &keys[members[i]];
+        let Some(candidates) = locked.bucket(view.table.shard_index(mk.hash), d, &mk.suffix) else {
             return false;
         };
         for e in candidates {
@@ -1045,8 +1309,8 @@ impl AvoidanceCore {
             if !distinct {
                 continue;
             }
-            chosen.push((e.t, e.l, e.stack, mstack));
-            if self.cover_rec(state, sig, d, members, i + 1, t, l, chosen) {
+            chosen.push((e.t, e.l, e.stack, mk.stack));
+            if Self::cover_rec(view, locked, d, keys, members, i + 1, t, l, chosen) {
                 return true;
             }
             chosen.pop();

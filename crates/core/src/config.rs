@@ -18,13 +18,18 @@ pub enum Immunity {
     Strong,
 }
 
-/// Which mutual-exclusion primitive guards the shared `Allowed` sets (§5.6).
+/// Which mutual-exclusion primitive guards the reference engine's
+/// monolithic shared state (§5.6).
 ///
 /// The paper uses a generalization of Peterson's algorithm so that the
 /// avoidance code stays independent of the very lock implementation it
 /// supervises; an ordinary OS mutex works too and is faster uncontended —
 /// the `substrate` Criterion bench quantifies the trade (ablation #1 in
-/// DESIGN.md).
+/// DESIGN.md). The production [`crate::AvoidanceCore`] no longer has a
+/// global guard at all: its match state is sharded behind per-shard
+/// mutexes (see [`Config::match_shards`]), so this knob now selects the
+/// guard of the preserved single-lock [`crate::ReferenceCore`] used for
+/// differential testing and benchmarking.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum GuardKind {
     /// Tournament tree of two-thread Peterson locks: O(log n), loads/stores
@@ -100,6 +105,19 @@ pub struct Config {
     /// candidate signatures instead of scanning the whole history on every
     /// request (ablation; both are benchmarked).
     pub use_match_index: bool,
+    /// Number of suffix-bucket shards in the sharded match state (rounded
+    /// up to a power of two). Requests hitting *different* signature-member
+    /// buckets contend only when their suffixes hash to the same shard, so
+    /// this bounds cross-signature interference on the matching path;
+    /// memory cost is one mutex-guarded map per shard per history
+    /// generation. Default 128.
+    pub match_shards: usize,
+    /// Number of occupancy-fingerprint counters published alongside the
+    /// bucket shards (rounded up to a power of two). More slots mean fewer
+    /// hash collisions, i.e. fewer requests that take a shard lock only to
+    /// find the required member bucket empty. 4 bytes per slot. Default
+    /// 2048.
+    pub occupancy_slots: usize,
     /// Structural false-positive accounting for the Figure 9 experiment:
     /// when set to the program's full stack depth `D`, every yield is
     /// classified immediately — a *true* positive if all instance bindings
@@ -126,6 +144,8 @@ impl Default for Config {
             mode: RuntimeMode::Full,
             enforce_yields: true,
             use_match_index: true,
+            match_shards: 128,
+            occupancy_slots: 2048,
             structural_fp_reference_depth: None,
         }
     }

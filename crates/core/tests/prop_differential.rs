@@ -58,6 +58,59 @@ fn arb_schedule() -> impl Strategy<Value = Vec<Step>> {
     )
 }
 
+/// Size of the reduced site alphabet used by the signature-hit-heavy
+/// generator: with signatures injected over the same few sites up front,
+/// most requests land in populated suffix buckets and exercise the sharded
+/// matching path (occupancy prechecks, shard-ordered cover searches)
+/// rather than the no-candidate fast path.
+const HOT_SITES: u8 = 3;
+
+fn arb_hit_heavy_schedule() -> impl Strategy<Value = Vec<Step>> {
+    let add_sig = || {
+        (0_u8..HOT_SITES, 0_u8..HOT_SITES, 1_u8..3).prop_map(|(i, j, depth)| Step::AddSig {
+            i,
+            j,
+            depth,
+        })
+    };
+    (
+        // Seed the history before any scheduling so the very first requests
+        // already hit signature-member buckets.
+        prop::collection::vec(add_sig(), 2..6),
+        prop::collection::vec(
+            prop_oneof![
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                add_sig(),
+            ],
+            0..160,
+        ),
+    )
+        .prop_map(|(mut steps, rest)| {
+            steps.extend(rest);
+            steps
+        })
+}
+
+/// Scripts confined to the hot-site alphabet, so nearly every request's
+/// suffix matches some injected signature member.
+fn arb_hit_heavy_script() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0_u8..LOCKS as u8, 0_u8..HOT_SITES).prop_map(|(l, p)| Action::Lock(l, p)),
+            (0_u8..LOCKS as u8, 0_u8..HOT_SITES).prop_map(|(l, p)| Action::Lock(l, p)),
+            (0_u8..LOCKS as u8, 0_u8..HOT_SITES).prop_map(|(l, p)| Action::TryLock(l, p)),
+            (0_u8..1).prop_map(|_| Action::Unlock),
+        ],
+        0..16,
+    )
+}
+
 fn arb_script() -> impl Strategy<Value = Vec<Action>> {
     prop::collection::vec(
         prop_oneof![
@@ -366,6 +419,22 @@ proptest! {
         prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
     }
 
+    /// Same agreement when the schedule is skewed so most requests land in
+    /// populated signature-member buckets — the sharded matching path
+    /// (occupancy prechecks + shard-ordered cover searches) must still be
+    /// decision-identical to the reference's globally guarded search.
+    #[test]
+    fn sharded_engine_matches_reference_hit_heavy(
+        schedule in arb_hit_heavy_schedule(),
+        s0 in arb_hit_heavy_script(),
+        s1 in arb_hit_heavy_script(),
+        s2 in arb_hit_heavy_script(),
+        s3 in arb_hit_heavy_script(),
+    ) {
+        let result = run_differential(true, &schedule, [s0, s1, s2, s3]);
+        prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
+    }
+
     /// Same agreement in linear-scan mode, where the fast path reduces to
     /// the empty-history check.
     #[test]
@@ -379,6 +448,42 @@ proptest! {
         let result = run_differential(false, &schedule, [s0, s1, s2, s3]);
         prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
     }
+}
+
+/// A deterministic yield-storm regression: several threads yield on the
+/// *same* cause `(T0, L0)` — all indexed under one wake shard — and a
+/// single release must wake every one of them, after which each retried
+/// request must GO (the cover's member bucket emptied with the release).
+/// Both engines must agree at every step.
+#[test]
+fn yield_storm_wakes_every_yielder_in_lockstep() {
+    let schedule = vec![
+        Step::AddSig {
+            i: 0,
+            j: 1,
+            depth: 2,
+        },
+        Step::Run(0), // T0 locks L0 via site 1: member bucket [site 0] is
+        Step::Run(1), // empty, so the occupancy precheck proves GO.
+        Step::Run(2), // T1..T3 request L1..L3 via site 0: T0's bucketed
+        Step::Run(3), // entry covers member [site 1] → three YIELDs on the
+        Step::Run(0), // same cause (T0, L0). T0 unlocks → wakes all three.
+        Step::Run(1), // Retried requests GO: the member bucket emptied.
+        Step::Run(2),
+        Step::Run(3),
+    ];
+    let scripts = [
+        vec![Action::Lock(0, 1), Action::Unlock],
+        vec![Action::Lock(1, 0)],
+        vec![Action::Lock(2, 0)],
+        vec![Action::Lock(3, 0)],
+    ];
+    let decisions = run_differential(true, &schedule, scripts).expect("no divergence");
+    assert_eq!(
+        decisions,
+        vec![true, false, false, false, true, true, true],
+        "three yields on one cause, then three post-wake GOs"
+    );
 }
 
 /// A deterministic regression for the empty→non-empty transition: entries

@@ -255,6 +255,89 @@ fn yield_timeout_aborts_and_can_disable_signature() {
 }
 
 #[test]
+fn parked_yield_storm_wakes_every_waiter_on_release() {
+    // Canary for the sharded wake protocol under real OS threads: several
+    // waiters PARK on yields against the same cause `(holder, A)`, and the
+    // holder's single unlock must wake every one of them. With no yield
+    // timeout, a lost wakeup (e.g. a release slipping between the cover
+    // decision and the wake-shard registration) parks a waiter forever —
+    // the watchdog below turns that hang into a failure. The lockstep
+    // differential tests cannot catch this class: it only exists under
+    // true parallelism.
+    let cfg = Config {
+        max_yield_duration: None,
+        ..quiet_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    let site_sa = rt.make_site(&[("m", "x.rs", 1), ("u", "x.rs", 3)]);
+    let site_sb = rt.make_site(&[("m", "x.rs", 2), ("u", "x.rs", 3)]);
+    rt.history()
+        .add(
+            dimmunix_core::CycleKind::Deadlock,
+            vec![site_sa.stack(), site_sb.stack()],
+            4,
+        )
+        .unwrap();
+    rt.history().touch();
+
+    const WAITERS: usize = 4;
+    let lock_a = Arc::new(rt.raw_lock());
+    let ready = Arc::new(Barrier::new(WAITERS + 1));
+    let mut handles = Vec::new();
+    // Holder: takes A through SA (bucketing the cover's member entry),
+    // waits until every waiter has yielded, then unlocks — the unlock
+    // delivers the wakeups through the runtime.
+    {
+        let rt = rt.clone();
+        let la = Arc::clone(&lock_a);
+        let sa = site_sa.clone();
+        let ready = Arc::clone(&ready);
+        handles.push(std::thread::spawn(move || {
+            la.lock(&sa);
+            ready.wait();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while rt.stats().yields < WAITERS as u64 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "waiters never yielded: {:?}",
+                    rt.stats()
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            la.unlock();
+        }));
+    }
+    // Waiters: each locks its own (free) lock through SB — the cover over
+    // the holder's SA entry forces a YIELD, and they park on it.
+    for _ in 0..WAITERS {
+        let rt = rt.clone();
+        let sb = site_sb.clone();
+        let ready = Arc::clone(&ready);
+        handles.push(std::thread::spawn(move || {
+            let lock = rt.raw_lock();
+            ready.wait();
+            lock.lock(&sb);
+            lock.unlock();
+        }));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    for h in handles {
+        while !h.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lost wakeup: a parked yielder never woke: {:?}",
+                rt.stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        h.join().unwrap();
+    }
+    let stats = rt.stats();
+    assert!(stats.yields >= WAITERS as u64, "{stats:?}");
+    assert_eq!(stats.yield_aborts, 0, "{stats:?}");
+}
+
+#[test]
 fn history_persists_across_runtimes() {
     let path = tmp_path("persist");
     std::fs::remove_file(&path).ok();

@@ -21,7 +21,11 @@
 //!   never contend on one shared queue tail;
 //! * an **epoch-published snapshot cell** ([`epoch::EpochCell`]) that lets
 //!   the `request` hook read the current match view with a single atomic
-//!   load instead of a read-write lock.
+//!   load instead of a read-write lock;
+//! * a **counting occupancy filter** ([`occupancy::OccupancyArray`]) that
+//!   publishes per-bucket occupancy fingerprints, so the request path can
+//!   prove a signature cover impossible (some required bucket empty)
+//!   without locking any bucket shard.
 //!
 //! The crate also provides the small utilities those algorithms need:
 //! exponential [`backoff::Backoff`] for contended spin loops and
@@ -35,7 +39,9 @@
 
 pub mod backoff;
 pub mod epoch;
+pub mod mix;
 pub mod mpsc;
+pub mod occupancy;
 pub mod pad;
 pub mod peterson;
 pub mod spsc;
@@ -43,7 +49,9 @@ pub mod tournament;
 
 pub use backoff::Backoff;
 pub use epoch::EpochCell;
+pub use mix::mix64;
 pub use mpsc::MpscQueue;
+pub use occupancy::OccupancyArray;
 pub use pad::CachePadded;
 pub use peterson::{FilterLock, FilterLockGuard, SlotAllocator};
 pub use spsc::SpscRing;

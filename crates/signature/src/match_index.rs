@@ -9,19 +9,80 @@
 //! from depth-truncated stack suffixes to the signature members that carry
 //! them. The avoidance runtime can use either strategy; the Criterion bench
 //! `request_path` compares them (an ablation called out in DESIGN.md).
+//!
+//! The index is layered per depth (`depth → suffix → members`) so a lookup
+//! borrows the probe suffix directly — no per-request key allocation — and
+//! every candidate carries the signature's precomputed [`CoverKeys`]: one
+//! `(stack, suffix, hash)` triple per member, ready for the sharded
+//! engine's occupancy prechecks and canonical shard-ordered bucket lookups
+//! without resolving or re-hashing member stacks on the request path.
 
 use crate::frame::FrameId;
 use crate::history::History;
 use crate::signature::Signature;
-use crate::stack::{suffix_of, StackTable};
+use crate::stack::{suffix_hash, suffix_of, StackId, StackTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Index key: a matching depth and a depth-truncated stack suffix.
-type SuffixKey = (u8, Box<[FrameId]>);
-/// Signature members carrying a given suffix; the index is the member's
-/// position within `signature.stacks`.
-type Members = Vec<(Arc<Signature>, usize)>;
+/// One signature member's precomputed bucket key: the member stack, its
+/// suffix at the signature's matching depth, and the [`suffix_hash`] of
+/// `(depth, suffix)` used for shard selection and occupancy probes.
+#[derive(Debug)]
+pub struct MemberKey {
+    /// The member stack id (`signature.stacks[i]` for member `i`).
+    pub stack: StackId,
+    /// The member stack's innermost `depth` frames.
+    pub suffix: Box<[FrameId]>,
+    /// `suffix_hash(depth, suffix)`.
+    pub hash: u64,
+}
+
+/// Precomputed per-signature cover keys: everything the exact-cover search
+/// needs to probe the `Allowed` buckets, one [`MemberKey`] per member in
+/// `signature.stacks` order.
+#[derive(Debug)]
+pub struct CoverKeys {
+    /// The matching depth the keys were computed at (the signature's depth
+    /// when the index was built).
+    pub depth: u8,
+    /// One key per member, aligned with `signature.stacks`.
+    pub members: Vec<MemberKey>,
+}
+
+impl CoverKeys {
+    /// Computes the member bucket keys for `sig` at `depth`. The single
+    /// source of the suffix/hash derivation: the index precomputes through
+    /// this at build time, and the avoidance engine calls it for the rare
+    /// live-depth-change fallback — both must agree on shard and
+    /// fingerprint slots or the occupancy precheck would be unsound.
+    pub fn compute(sig: &Signature, depth: u8, stacks: &StackTable) -> Self {
+        Self {
+            depth,
+            members: sig
+                .stacks
+                .iter()
+                .map(|&stack| {
+                    let frames = stacks.resolve(stack);
+                    let suffix: Box<[FrameId]> = suffix_of(&frames, depth as usize).into();
+                    let hash = suffix_hash(depth, &suffix);
+                    MemberKey {
+                        stack,
+                        suffix,
+                        hash,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A signature member carrying a given suffix: the signature, the member's
+/// position within `signature.stacks`, and the signature's shared
+/// [`CoverKeys`].
+type Candidate = (Arc<Signature>, usize, Arc<CoverKeys>);
+
+/// One depth layer of the index: `suffix → candidates`.
+type SuffixMap = HashMap<Box<[FrameId]>, Vec<Candidate>>;
 
 /// Immutable index over one history generation.
 ///
@@ -31,12 +92,10 @@ type Members = Vec<(Arc<Signature>, usize)>;
 pub struct MatchIndex {
     /// Generation of the history this index was built from.
     generation: u64,
-    /// Distinct matching depths present in the history, ascending.
-    depths: Vec<u8>,
-    /// `(depth, suffix)` → signature members whose stack has that suffix at
-    /// that depth. The member index is the position within
-    /// `signature.stacks`.
-    by_suffix: HashMap<SuffixKey, Members>,
+    /// `(depth, suffix → candidates)`, ascending by depth. Candidate order
+    /// within a bucket follows history-snapshot order — the cover search
+    /// (and hence yield causes) must be deterministic.
+    by_depth: Vec<(u8, SuffixMap)>,
 }
 
 impl MatchIndex {
@@ -44,30 +103,32 @@ impl MatchIndex {
     pub fn build(history: &History, stacks: &StackTable) -> Self {
         let generation = history.generation();
         let snapshot = history.snapshot();
-        let mut depths = Vec::new();
-        let mut by_suffix: HashMap<SuffixKey, Members> = HashMap::new();
+        let mut by_depth: Vec<(u8, SuffixMap)> = Vec::new();
         for sig in snapshot.iter() {
             if sig.is_disabled() {
                 continue;
             }
             let depth = sig.depth();
-            if !depths.contains(&depth) {
-                depths.push(depth);
-            }
-            for (member, &stack_id) in sig.stacks.iter().enumerate() {
-                let frames = stacks.resolve(stack_id);
-                let suffix: Box<[FrameId]> = suffix_of(&frames, depth as usize).into();
-                by_suffix
-                    .entry((depth, suffix))
-                    .or_default()
-                    .push((Arc::clone(sig), member));
+            let keys = Arc::new(CoverKeys::compute(sig, depth, stacks));
+            let map = match by_depth.iter_mut().find(|(d, _)| *d == depth) {
+                Some((_, map)) => map,
+                None => {
+                    by_depth.push((depth, HashMap::new()));
+                    &mut by_depth.last_mut().expect("just pushed").1
+                }
+            };
+            for (member, key) in keys.members.iter().enumerate() {
+                map.entry(key.suffix.clone()).or_default().push((
+                    Arc::clone(sig),
+                    member,
+                    Arc::clone(&keys),
+                ));
             }
         }
-        depths.sort_unstable();
+        by_depth.sort_unstable_by_key(|&(d, _)| d);
         Self {
             generation,
-            depths,
-            by_suffix,
+            by_depth,
         }
     }
 
@@ -81,25 +142,37 @@ impl MatchIndex {
         self.generation != history.generation()
     }
 
-    /// All `(signature, member_position)` pairs whose member stack matches
-    /// `stack` at the signature's current depth.
+    /// Distinct matching depths present in the index, ascending.
+    pub fn depths(&self) -> impl Iterator<Item = u8> + '_ {
+        self.by_depth.iter().map(|&(d, _)| d)
+    }
+
+    /// All `(signature, member_position, cover_keys)` triples whose member
+    /// stack matches `stack` at the signature's indexed depth. Allocation-
+    /// free: the probe suffix is borrowed for the bucket lookup.
     pub fn candidates<'a>(
         &'a self,
         stack: &'a [FrameId],
-    ) -> impl Iterator<Item = (&'a Arc<Signature>, usize)> + 'a {
-        self.depths.iter().flat_map(move |&d| {
-            let key = (d, suffix_of(stack, d as usize).into());
-            self.by_suffix
-                .get(&key)
+    ) -> impl Iterator<Item = (&'a Arc<Signature>, usize, &'a Arc<CoverKeys>)> + 'a {
+        self.by_depth.iter().flat_map(move |(d, map)| {
+            map.get(suffix_of(stack, *d as usize))
                 .into_iter()
                 .flatten()
-                .map(|(sig, member)| (sig, *member))
+                .map(|(sig, member, keys)| (sig, *member, keys))
         })
+    }
+
+    /// Whether any signature member matches `stack` at its indexed depth
+    /// (the request fast path's relevance probe).
+    pub fn matches_any(&self, stack: &[FrameId]) -> bool {
+        self.by_depth
+            .iter()
+            .any(|(d, map)| map.contains_key(suffix_of(stack, *d as usize)))
     }
 
     /// Number of distinct `(depth, suffix)` keys (for resource accounting).
     pub fn key_count(&self) -> usize {
-        self.by_suffix.len()
+        self.by_depth.iter().map(|(_, map)| map.len()).sum()
     }
 }
 
@@ -157,6 +230,7 @@ mod tests {
         let hits: Vec<_> = idx.candidates(&probe).collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0.id, sig.id);
+        assert!(idx.matches_any(&probe));
         // The matched member is the one holding the [_, 5, 6] stack.
         let member_stack = env.stacks.resolve(sig.stacks[hits[0].1]);
         assert_eq!(suffix_of(&member_stack, 2), &env.frames_of(&[5, 6])[..]);
@@ -164,6 +238,28 @@ mod tests {
         // A stack with no matching suffix yields nothing.
         let miss = env.frames_of(&[5, 9]);
         assert_eq!(idx.candidates(&miss).count(), 0);
+        assert!(!idx.matches_any(&miss));
+    }
+
+    #[test]
+    fn cover_keys_align_with_members() {
+        let env = Env::new();
+        let s1 = env.stack(&[1, 5, 6]);
+        let s2 = env.stack(&[2, 5, 7]);
+        env.history
+            .add(CycleKind::Deadlock, vec![s1, s2], 2)
+            .unwrap();
+        let idx = MatchIndex::build(&env.history, &env.stacks);
+        let probe = env.frames_of(&[9, 9, 5, 6]);
+        let (_, member, keys) = idx.candidates(&probe).next().unwrap();
+        assert_eq!(keys.depth, 2);
+        assert_eq!(keys.members.len(), 2);
+        assert_eq!(keys.members[0].stack, s1);
+        assert_eq!(keys.members[1].stack, s2);
+        assert_eq!(&*keys.members[member].suffix, &env.frames_of(&[5, 6])[..]);
+        for key in &keys.members {
+            assert_eq!(key.hash, suffix_hash(2, &key.suffix));
+        }
     }
 
     #[test]
@@ -207,18 +303,19 @@ mod tests {
             )
             .unwrap();
         let idx = MatchIndex::build(&env.history, &env.stacks);
+        assert_eq!(idx.depths().collect::<Vec<_>>(), vec![1, 4]);
 
         // Anything ending in 6 matches `shallow` at depth 1; only the exact
         // 4-suffix matches `deep`.
         let probe = env.frames_of(&[9, 1, 2, 3, 6]);
-        let mut sig_ids: Vec<_> = idx.candidates(&probe).map(|(s, _)| s.id).collect();
+        let mut sig_ids: Vec<_> = idx.candidates(&probe).map(|(s, _, _)| s.id).collect();
         sig_ids.sort_unstable();
         sig_ids.dedup();
         assert!(sig_ids.contains(&shallow.id));
         assert!(sig_ids.contains(&deep.id));
 
         let probe2 = env.frames_of(&[9, 9, 9, 6]);
-        let ids2: Vec<_> = idx.candidates(&probe2).map(|(s, _)| s.id).collect();
+        let ids2: Vec<_> = idx.candidates(&probe2).map(|(s, _, _)| s.id).collect();
         assert!(ids2.contains(&shallow.id));
         assert!(!ids2.contains(&deep.id));
     }

@@ -263,3 +263,39 @@ fn weak_immunity_reoccurrence_is_bounded() {
     }
     assert_eq!(rt.history().len(), sigs_then, "history converged");
 }
+
+#[test]
+fn eight_thread_storm_completes_on_sharded_match_path() {
+    // After immunization, eight simulated threads hammer the same ABBA
+    // pattern through the *same* call sites, so nearly every second-lock
+    // request lands in a populated signature-member bucket. This drives
+    // the sharded matching path — occupancy prechecks, shard-ordered
+    // cover searches, and the sharded wake index under repeated yield
+    // storms — from simulated threads rather than OS threads.
+    let rt = Runtime::new(Config::default()).unwrap();
+    find_deadlock_seed(&rt);
+    let report = explore(0..16, |seed| {
+        let mut sim = Sim::new(&rt, seed);
+        let a = sim.lock_handle("A");
+        let b = sim.lock_handle("B");
+        for i in 0..8 {
+            let (first, second) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            sim.spawn(
+                "W",
+                Script::new().scoped("update", |s| {
+                    s.lock(first)
+                        .compute(3)
+                        .lock(second)
+                        .unlock(second)
+                        .unlock(first)
+                }),
+            );
+        }
+        sim.run()
+    });
+    assert_eq!(report.completed_seeds.len(), 16, "{report:?}");
+    assert!(
+        report.total_yields >= 1,
+        "storm must have avoided: {report:?}"
+    );
+}
