@@ -84,7 +84,10 @@ fn main() {
         ],
         &rows,
     );
-    println!("\nMonitor lag (event-lane backpressure; all gauges from the run's final state):");
+    println!(
+        "\nMonitor lag + bucket skew (event-lane backpressure and hot signature-member \
+         buckets; all gauges from the run's final state):"
+    );
     table(
         &[
             "Workload",
@@ -92,6 +95,8 @@ fn main() {
             "Events/pass",
             "Lane high-water",
             "Overflow events",
+            "Hot bucket peak",
+            "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
         ],
         &lag_rows,
     );
@@ -107,7 +112,7 @@ fn best_rps(reps: u64, mut run: impl FnMut() -> rubis::MacroReport) -> f64 {
         .fold(0.0_f64, f64::max)
 }
 
-/// One monitor-lag gauge row for a finished Dimmunix run.
+/// One monitor-lag + bucket-skew gauge row for a finished Dimmunix run.
 fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
     let s = rt.stats();
     vec![
@@ -116,5 +121,7 @@ fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
         s.events_last_drain.to_string(),
         s.lane_high_water.to_string(),
         s.lane_overflows.to_string(),
+        s.hot_bucket_peak.to_string(),
+        dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
     ]
 }

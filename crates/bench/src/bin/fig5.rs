@@ -64,6 +64,8 @@ fn main() {
                 stats.events_last_drain.to_string(),
                 stats.lane_high_water.to_string(),
                 stats.lane_overflows.to_string(),
+                stats.hot_bucket_peak.to_string(),
+                dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
             ]);
             rt.shutdown();
             rows.push(vec![
@@ -85,13 +87,15 @@ fn main() {
             ],
             &rows,
         );
-        println!("\nMonitor lag (event-lane backpressure):");
+        println!("\nMonitor lag + bucket skew (hot buckets visible without a profiler):");
         table(
             &[
                 "Threads",
                 "Events/pass",
                 "Lane high-water",
                 "Overflow events",
+                "Hot bucket peak",
+                "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
             ],
             &lag_rows,
         );

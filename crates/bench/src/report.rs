@@ -80,6 +80,26 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// Compact one-cell rendering of a bucket-occupancy skew snapshot:
+/// `buckets=N live=M hot=H [c0 c1 c2-3 c4-7 c8-15 c16-31 c32-63 c64+]`.
+pub fn skew_cell(skew: &dimmunix_core::OccupancySkew) -> String {
+    let h = &skew.hist;
+    format!(
+        "buckets={} live={} hot={} [{} {} {} {} {} {} {} {}]",
+        skew.buckets,
+        skew.live_entries,
+        skew.hottest,
+        h[0],
+        h[1],
+        h[2],
+        h[3],
+        h[4],
+        h[5],
+        h[6],
+        h[7],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

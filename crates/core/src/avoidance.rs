@@ -3,8 +3,10 @@
 //!
 //! This is the code on the application's lock/unlock path. It maintains the
 //! "simpler cache of parts of the RAG" the paper describes — the lock-owner
-//! map and the `Allowed` sets — **sharded so that no hook ever takes a
-//! global lock**:
+//! map and the `Allowed` sets — with a **mutex-free signature-hit path**:
+//! once a request's suffix hits a signature-member bucket, everything it
+//! touches (occupancy fingerprints, the cover search, yield registration,
+//! release-side wakeups) is atomics, not locks:
 //!
 //! * the **owner map** is split into [`OWNER_SHARDS`] hash shards, each
 //!   behind its own mutex, so `acquired`/`release` bookkeeping from
@@ -13,19 +15,26 @@
 //!   copy of its entries) behind a per-slot mutex that only its owner and
 //!   the occasional rebuild sweep touch;
 //! * the suffix-keyed **`Allowed` buckets** consulted by the exact-cover
-//!   search live in a [`MatchTable`]: [`Config::match_shards`] hash shards
-//!   keyed by `suffix_hash(depth, suffix)`, each behind its own small
-//!   mutex, so concurrent requests hitting *different* signatures never
-//!   contend. The table also publishes per-bucket **occupancy
-//!   fingerprints** ([`OccupancyArray`]): exact atomic counters whose zero
-//!   reads prove a bucket empty without locking its shard;
-//! * the **yielding bookkeeping** is sharded too: each thread's yield
-//!   causes live in its own slot, and the reverse wake index
-//!   (`(cause thread, cause lock) → yielders`) is split into
-//!   [`WAKE_SHARDS`] hash shards;
-//! * the read-mostly **match view** (enabled matching depths, the
-//!   [`MatchIndex`], and the current `MatchTable`) is published through an
-//!   [`EpochCell`] so `request` revalidates it with a single atomic load;
+//!   search live in a [`MatchTable`]: a **dense array of
+//!   [`VersionedBucket`]s**, one per distinct `(depth, suffix)` member key
+//!   of the generation's [`BucketLayout`] — the key set is known at
+//!   rebuild time because only entries whose suffix matches some signature
+//!   member can ever participate in a cover. Readers are optimistic
+//!   (seqlock copy + sequence revalidation) and never block; an insert or
+//!   removal claims only its own bucket's sequence word with one CAS. The
+//!   table also publishes per-bucket **occupancy fingerprints**
+//!   ([`OccupancyArray`], indexed by bucket slot and sized to the key
+//!   count by default — collision-free) whose zero reads prove a bucket
+//!   empty without reading it;
+//! * the **yielding bookkeeping** is lock-free: each thread slot owns a
+//!   Treiber-style [`WakeList`] of registrations *against it as a cause*
+//!   (`(cause lock, yielder, epoch)` nodes), plus an atomic registration
+//!   epoch whose bump invalidates all of the slot's outstanding nodes as a
+//!   yielder. Registration is one CAS per cause; a release's wakeup
+//!   delivery is one swap-and-drain of its own list;
+//! * the read-mostly **match view** (bucket layout, the [`MatchIndex`],
+//!   and the current `MatchTable`) is published through an [`EpochCell`]
+//!   so `request` revalidates it with a single atomic load;
 //! * events flow to the monitor over per-thread SPSC lanes
 //!   ([`crate::lanes::EventLanes`]) instead of one contended MPSC tail.
 //!
@@ -41,14 +50,15 @@
 //! A request that *does* hit a member bucket runs the **guard-free cover
 //! precheck** first: a signature can only be instantiated if *every* member
 //! bucket is non-empty, so one zero occupancy fingerprint among a
-//! candidate's other members refutes that candidate without locking
-//! anything. Only candidates that survive the precheck get a shard-locked
-//! exact-cover search, and that search acquires *only* the shards of the
-//! candidate's member suffixes — in ascending shard order, the invariant
-//! that keeps the engine itself deadlock-free. In the common case ("in most
-//! cases at least one of these sets is empty", §5.4) the whole matching
-//! path is therefore a read-only precheck plus one shard-locked insert of
-//! the requester's own entry.
+//! candidate's other members refutes that candidate without reading
+//! anything else. Candidates that survive get an **optimistic cover
+//! search**: each member bucket is copied with a validated sequence
+//! ([`VersionedBucket::read_into`]), the exact cover is solved over those
+//! snapshots, and the `(bucket, sequence)` pairs become the cover's
+//! *proof*, revalidated after the yield is registered (below). In the
+//! common case ("in most cases at least one of these sets is empty", §5.4)
+//! the whole matching path is a read-only precheck plus one single-bucket
+//! CAS-claimed insert of the requester's own entry.
 //!
 //! # Rebuild protocol
 //!
@@ -64,27 +74,39 @@
 //! they only ever run against a complete table; the old table becomes
 //! garbage once the last reader drops its cached view.
 //!
-//! # Lock ordering
+//! # No-lost-wakeup protocol (lock-free)
 //!
-//! `rebuild mutex → slot (allowed-log) mutex → bucket-shard mutexes
-//! (ascending shard index) → yield-cause mutex → wake-shard mutex`.
-//! Hooks drop the slot mutex before calling `rebuild`; the cover search is
-//! the only place that holds several bucket shards at once, and it sorts
-//! and dedups the shard indices first. A *successful* cover keeps its
-//! shards held until the yield is registered in the wake shards: a release
-//! of a cause lock must remove its (bucketed) entry — passing one of those
-//! very shards — before it looks up wakeups, so it cannot slip between
-//! the decision and the registration and lose the wakeup. That hold only
-//! serializes releases against the *same* table generation, so after
-//! registering, `request` re-checks the history generation — a release
-//! that consulted a newer table forces the bumped generation visible via
-//! the shared wake-shard mutex — and on a move retracts the registration
-//! and re-decides against the new view. Under
+//! The engine-internal lock order collapses to `rebuild mutex → slot
+//! (allowed-log) mutex`; no hook ever holds two mutexes of the same tier,
+//! and the old "bucket shards ascending → yield-cause → wake shard" tiers
+//! are gone. What used to be guaranteed by holding the cover's member
+//! shards across yield registration is now guaranteed by ordering:
+//!
+//! 1. the requester snapshots the member buckets (validated sequences),
+//!    finds a cover, **publishes its wake registrations** (SeqCst CAS
+//!    pushes into the cause threads' [`WakeList`]s), and only then
+//!    **revalidates** the history generation and every snapshot sequence;
+//! 2. a releasing thread **removes its entry first** (a SeqCst write
+//!    session that bumps the bucket's sequence) and **drains its wake list
+//!    second** (a SeqCst swap).
+//!
+//! In the single total order of those SeqCst operations, either the
+//! requester's revalidation observes the removal (sequence or generation
+//! moved → it retracts the registration, bumps `cover_retries`, and
+//! re-decides — "retry on churn" instead of blocking), or the release's
+//! drain observes the registration and delivers the wakeup. A release that
+//! consulted a *newer* table bumps no old-table sequence, but the history
+//! generation it must have observed was bumped (SeqCst) before that table
+//! existed, so the requester's generation re-check catches that boundary.
+//! The real-thread parked-yield canaries hang on any lost wakeup. Under
 //! concurrency, two requests may still decide against covers that each
 //! other's in-flight entries would have completed — the same
 //! monitor-detectable window the paper already tolerates for yield cycles
 //! (§3); the differential proptest pins the sequential semantics to
-//! [`crate::reference::ReferenceCore`] exactly.
+//! [`crate::reference::ReferenceCore`] exactly (the snapshot copies read
+//! in bucket-slot order, and [`VersionedBucket`] preserves `Vec`
+//! push/`swap_remove` order, so lockstep decision streams stay
+//! byte-identical).
 //!
 //! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
 //! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
@@ -99,17 +121,18 @@ use crate::event::{Event, YieldInfo};
 use crate::lanes::EventLanes;
 use crate::stats::Stats;
 use dimmunix_lockfree::{
-    mix64, CachePadded, EpochCell, FilterLock, OccupancyArray, SlotAllocator, TournamentLock,
+    mix64, CachePadded, DrainVerdict, EpochCell, FilterLock, OccupancyArray, SlotAllocator,
+    TournamentLock, VersionedBucket, WakeList,
 };
 use dimmunix_rag::{LockId, ThreadId, YieldCause};
 use dimmunix_signature::{
-    suffix_hash, suffix_matches, suffix_of, CallStack, CoverKeys, FrameId, History, MatchIndex,
+    suffix_matches, suffix_of, BucketLayout, CallStack, CoverKeys, FrameId, History, MatchIndex,
     MemberKey, Signature, StackId, StackTable,
 };
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Answer of the `request` hook (§3): GO means it is safe — with respect to
@@ -134,6 +157,23 @@ pub(crate) struct AllowedEntry {
     pub(crate) t: ThreadId,
     pub(crate) l: LockId,
     pub(crate) stack: StackId,
+}
+
+impl AllowedEntry {
+    /// The three-word record stored in a [`VersionedBucket`].
+    #[inline]
+    fn encode(self) -> [u64; 3] {
+        [self.t.0, self.l.0, u64::from(self.stack.0)]
+    }
+
+    #[inline]
+    fn decode(rec: [u64; 3]) -> Self {
+        Self {
+            t: ThreadId(rec[0]),
+            l: LockId(rec[1]),
+            stack: StackId(rec[2] as u32),
+        }
+    }
 }
 
 /// Number of owner-map shards (power of two).
@@ -185,124 +225,125 @@ impl OwnerTable {
     }
 }
 
-/// One bucket shard: `depth → suffix → Allowed entries`. Keyed two-level so
-/// lookups borrow the probe suffix (no per-request key allocation).
-type BucketShard = HashMap<u8, HashMap<Box<[FrameId]>, Vec<AllowedEntry>>>;
-
-/// The sharded `Allowed` buckets of one history generation, plus their
+/// The `Allowed` buckets of one history generation — a dense array of
+/// [`VersionedBucket`]s, one per [`BucketLayout`] key — plus their
 /// occupancy fingerprints. Owned by the [`MatchView`] that published it;
-/// replaced wholesale on rebuild.
+/// replaced wholesale on rebuild. No mutex anywhere: readers are
+/// optimistic, writers claim one bucket's sequence word with a CAS.
 pub(crate) struct MatchTable {
-    shards: Box<[CachePadded<Mutex<BucketShard>>]>,
-    /// Exact per-bucket occupancy counters (see module docs): incremented
-    /// *before* an insert becomes visible, decremented only *after* an
-    /// actual removal, so a zero read always proves emptiness.
+    buckets: Box<[VersionedBucket<3>]>,
+    /// Per-bucket-slot occupancy fingerprints (see module docs): a slot
+    /// counts the *non-empty buckets* mapping to it, maintained inside the
+    /// bucket write sessions (bump before the first entry becomes visible,
+    /// drop only after the last is removed), so a zero read always proves
+    /// emptiness. Sized to the key count by default — collision-free.
     occupancy: OccupancyArray,
-    mask: u64,
+    /// Count of currently non-empty buckets (maintained on the same
+    /// empty↔non-empty transitions as the fingerprints; padded so the
+    /// toggling workloads don't share a line with the table header). Lets
+    /// the candidate precheck reject a whole suffix's candidates in O(1):
+    /// if the only non-empty bucket is the requester's own, every
+    /// other-member bucket is empty. That inference reads one fingerprint
+    /// as *identifying* the non-empty bucket, so the engine only uses it
+    /// when the fingerprints are collision-free (one slot per bucket —
+    /// the adaptive default); see [`MatchTable::exact_occupancy`].
+    nonempty: CachePadded<AtomicU32>,
     /// Set once the rebuild sweep has merged every per-thread log; covers
     /// and direct bucket inserts wait for it.
     swept: AtomicBool,
 }
 
 impl MatchTable {
-    fn new(shards: usize, occupancy_slots: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+    fn new(buckets: usize, occupancy_slots: usize) -> Self {
         Self {
-            shards: (0..n)
-                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
-                .collect(),
+            buckets: (0..buckets).map(|_| VersionedBucket::new()).collect(),
             occupancy: OccupancyArray::new(occupancy_slots),
-            mask: (n - 1) as u64,
+            nonempty: CachePadded::new(AtomicU32::new(0)),
             swept: AtomicBool::new(false),
         }
     }
 
+    /// Whether every bucket has its own fingerprint slot (no aliasing):
+    /// true under adaptive sizing, false only when `occupancy_slots` is
+    /// overridden below the key count. A non-zero fingerprint read then
+    /// pins down *which* bucket is non-empty, which the O(1) whole-set
+    /// reject relies on.
+    fn exact_occupancy(&self) -> bool {
+        self.occupancy.len() >= self.buckets.len()
+    }
+
     /// An empty, already-swept table (for the sentinel view).
     fn sentinel() -> Self {
-        let table = Self::new(1, 1);
+        let table = Self::new(0, 1);
         table.swept.store(true, Ordering::Release);
         table
     }
 
-    #[inline]
-    fn shard_index(&self, hash: u64) -> usize {
-        (hash & self.mask) as usize
-    }
-
-    /// Inserts `e` into the bucket for `(d, suffix)`. The occupancy bump
-    /// precedes the insert so a concurrent zero read never misses a live
-    /// entry.
-    fn insert(&self, d: u8, suffix: &[FrameId], hash: u64, e: AllowedEntry) {
-        self.occupancy.increment(hash);
-        let mut shard = self.shards[self.shard_index(hash)].lock();
-        let per_depth = shard.entry(d).or_default();
-        if let Some(v) = per_depth.get_mut(suffix) {
-            v.push(e);
-        } else {
-            per_depth.insert(suffix.into(), vec![e]);
+    /// Inserts `e` into bucket `slot`. The occupancy fingerprint tracks
+    /// *non-empty buckets*, not entries, so it is only bumped on the
+    /// empty→non-empty transition — inside the write session, before the
+    /// entry becomes visible (the `len` store), so a concurrent zero read
+    /// never misses a live entry. Steady-state traffic on an already
+    /// populated bucket touches no fingerprint cache line at all.
+    fn insert(&self, slot: u32, e: AllowedEntry) {
+        let mut w = self.buckets[slot as usize].write();
+        if w.is_empty() {
+            self.occupancy.increment(u64::from(slot));
+            self.nonempty.fetch_add(1, Ordering::SeqCst);
         }
+        w.push(e.encode());
     }
 
-    /// Removes `e` from the bucket for `(d, suffix)`; tolerant of the entry
-    /// being absent (it may never have been bucketed in *this* table). The
-    /// fingerprint is only decremented for an actual removal.
-    fn remove(&self, d: u8, suffix: &[FrameId], hash: u64, e: AllowedEntry) {
-        let removed = {
-            let mut shard = self.shards[self.shard_index(hash)].lock();
-            shard
-                .get_mut(&d)
-                .and_then(|per_depth| per_depth.get_mut(suffix))
-                .and_then(|v| v.iter().position(|x| *x == e).map(|pos| v.swap_remove(pos)))
-                .is_some()
-        };
-        if removed {
-            self.occupancy.decrement(hash);
-        }
-    }
-
-    /// Locks the given shards (indices must be ascending and deduplicated —
-    /// the canonical order that keeps concurrent cover searches
-    /// deadlock-free).
-    fn lock_shards(&self, sorted_ids: &[usize]) -> LockedShards<'_> {
-        debug_assert!(sorted_ids.windows(2).all(|w| w[0] < w[1]));
-        LockedShards {
-            guards: sorted_ids
-                .iter()
-                .map(|&i| (i, self.shards[i].lock()))
-                .collect(),
+    /// Removes `e` from bucket `slot`; tolerant of the entry being absent
+    /// (it may never have been bucketed in *this* table). The fingerprint
+    /// is only decremented when an actual removal empties the bucket.
+    fn remove(&self, slot: u32, e: AllowedEntry) {
+        let mut w = self.buckets[slot as usize].write();
+        if w.remove(e.encode()) && w.is_empty() {
+            self.occupancy.decrement(u64::from(slot));
+            self.nonempty.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     fn approx_bytes(&self) -> usize {
-        let mut n = self.occupancy.len() * core::mem::size_of::<u32>();
-        for shard in self.shards.iter() {
-            let shard = shard.lock();
-            for per_depth in shard.values() {
-                for (k, v) in per_depth {
-                    n += k.len() * core::mem::size_of::<FrameId>()
-                        + v.len() * core::mem::size_of::<AllowedEntry>();
-                }
-            }
-        }
-        n
+        self.occupancy.len() * core::mem::size_of::<u32>()
+            + self
+                .buckets
+                .iter()
+                .map(|b| {
+                    core::mem::size_of::<VersionedBucket<3>>()
+                        + b.approx_len() * 3 * core::mem::size_of::<u64>()
+                })
+                .sum::<usize>()
     }
 }
 
-/// A set of held bucket-shard guards, keyed by shard index, for one
-/// exact-cover search.
-struct LockedShards<'a> {
-    guards: Vec<(usize, MutexGuard<'a, BucketShard>)>,
+/// One member bucket's validated optimistic snapshot, taken by the cover
+/// search: the decoded live entries (in `Vec` order) and the sequence word
+/// they were validated against.
+struct BucketSnap {
+    slot: u32,
+    seq: u64,
+    entries: Vec<AllowedEntry>,
 }
 
-impl LockedShards<'_> {
-    fn bucket(&self, shard: usize, d: u8, suffix: &[FrameId]) -> Option<&Vec<AllowedEntry>> {
-        let (_, guard) = self.guards.iter().find(|(i, _)| *i == shard)?;
-        guard.get(&d)?.get(suffix)
+/// A successful cover's revalidation set: the `(bucket, sequence)` pairs
+/// its decision was computed from. After registering the yield, the
+/// requester re-checks these — any movement means a cause entry may have
+/// been released (and its wake drained) concurrently, so the decision is
+/// retried instead of parking on a possibly-dead registration.
+struct CoverProof(Vec<(u32, u64)>);
+
+impl CoverProof {
+    fn still_valid(&self, view: &MatchView) -> bool {
+        self.0
+            .iter()
+            .all(|&(slot, seq)| view.table.buckets[slot as usize].seq() == seq)
     }
 }
 
-/// The read-mostly snapshot `request` consults without any lock: which
-/// matching depths are enabled, the suffix index over signature members
+/// The read-mostly snapshot `request` consults without any lock: the
+/// generation's bucket layout, the suffix index over signature members
 /// (when configured), and the current bucket table. Published via
 /// [`EpochCell`] whenever the history generation moves.
 pub(crate) struct MatchView {
@@ -310,9 +351,11 @@ pub(crate) struct MatchView {
     generation: u64,
     /// Distinct matching depths of the enabled signatures, ascending.
     depths: Vec<u8>,
+    /// Dense `(depth, suffix) → bucket slot` directory of this generation.
+    layout: Arc<BucketLayout>,
     /// Suffix index over signature members (`None` in linear-scan mode).
     index: Option<Arc<MatchIndex>>,
-    /// The sharded buckets + occupancy fingerprints of this generation.
+    /// The versioned buckets + occupancy fingerprints of this generation.
     table: Arc<MatchTable>,
 }
 
@@ -321,6 +364,7 @@ impl MatchView {
         Self {
             generation: u64::MAX,
             depths: Vec::new(),
+            layout: Arc::new(BucketLayout::default()),
             index: None,
             table: Arc::new(MatchTable::sentinel()),
         }
@@ -330,17 +374,11 @@ impl MatchView {
     /// in an exact cover under this view. `false` means the entry can stay
     /// in its thread's private log and skip the shared buckets entirely.
     ///
-    /// In linear-scan mode (no index) every entry is conservatively
-    /// relevant once the history is non-empty, matching the reference
-    /// engine's bucket-everything behavior.
+    /// Both index and linear-scan modes gate on the bucket layout: covers
+    /// look entries up *by member suffix*, so an entry whose suffix is no
+    /// layout key is invisible to every possible cover.
     fn is_relevant(&self, frames: &[FrameId]) -> bool {
-        if self.depths.is_empty() {
-            return false;
-        }
-        match &self.index {
-            Some(ix) => ix.matches_any(frames),
-            None => true,
-        }
+        !self.depths.is_empty() && self.layout.is_relevant(frames)
     }
 }
 
@@ -451,13 +489,20 @@ pub(crate) struct ThreadSlot {
     /// owning thread on every hook and by rebuild sweeps; never contended
     /// in steady state.
     allowed: Mutex<AllowedLog>,
-    /// The causes `(cause thread, cause lock)` of this thread's current
-    /// yield; empty when not yielding. The sharded successor of the old
-    /// global yielding map: membership is per-slot, the reverse index is
-    /// in the wake shards.
-    yield_causes: Mutex<Vec<(ThreadId, LockId)>>,
-    /// Mirror of "`yield_causes` is non-empty", read by the owner thread to
-    /// decide whether a request must do yield-map maintenance.
+    /// Wake registrations *against this thread as a cause*: `(cause lock,
+    /// yielder, yielder epoch)` nodes pushed lock-free by yielding
+    /// threads. Only this thread drains it (its own `release` /
+    /// `unregister` — the single-drainer contract of [`WakeList`], which
+    /// holds structurally because a cause is always `(entry owner, lock)`
+    /// and only the owner releases its locks).
+    wake_list: WakeList,
+    /// This thread's registration epoch *as a yielder*: every node it
+    /// pushes carries the current value, and bumping it retracts all of
+    /// its outstanding registrations in O(1) (drainers discard
+    /// stale-epoch nodes). Monotonic across slot reuse.
+    wake_epoch: AtomicU64,
+    /// Mirror of "this thread is registered as yielding", read by the
+    /// owner thread to decide whether a GO must retract a registration.
     in_yielding: AtomicBool,
 }
 
@@ -481,12 +526,6 @@ struct Instance {
     bindings: Vec<(StackId, StackId)>,
 }
 
-/// Number of wake-index shards (power of two).
-const WAKE_SHARDS: usize = 64;
-
-/// One wake-index shard: `(cause thread, cause lock) → yielding threads`.
-type WakeShard = Mutex<HashMap<(ThreadId, LockId), Vec<ThreadId>>>;
-
 /// The avoidance engine. One per runtime.
 pub struct AvoidanceCore {
     slots: Box<[ThreadSlot]>,
@@ -495,15 +534,6 @@ pub struct AvoidanceCore {
     /// Published match view; `request` revalidates its per-slot cache with
     /// one epoch load.
     view_cell: EpochCell<MatchView>,
-    /// Reverse index over yield causes, sharded by `(thread, lock)` hash.
-    wake_shards: Box<[CachePadded<WakeShard>]>,
-    /// Number of currently yielding threads (exact: transitions happen
-    /// under the owning slot's `yield_causes` mutex). A fast-path `release`
-    /// may skip the wake lookup only when this is 0 *and* its entry was
-    /// never bucketed; yields caused by bucketed entries always force
-    /// their releaser through the wake shard, so the race cannot lose a
-    /// wakeup.
-    yielder_count: AtomicUsize,
     /// Serializes match-state rebuilds (table + index build, publication,
     /// and the per-slot log sweep). Hooks never hold any other engine lock
     /// while taking it.
@@ -530,10 +560,6 @@ impl AvoidanceCore {
             slot_alloc: SlotAllocator::new(n),
             owner: OwnerTable::new(),
             view_cell: EpochCell::new(Arc::new(MatchView::sentinel())),
-            wake_shards: (0..WAKE_SHARDS)
-                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
-                .collect(),
-            yielder_count: AtomicUsize::new(0),
             rebuild_lock: Mutex::new(()),
             history,
             stacks,
@@ -583,6 +609,14 @@ impl AvoidanceCore {
                     }
                 }
             }
+            // Free every wake registration parked against this thread.
+            // Valid yielders among them get no wake (this engine has no
+            // waker handle) — parity with the old wake index, whose
+            // entries for an exited cause thread also went undelivered;
+            // the max-yield bound rescues those yielders.
+            self.slots[slot]
+                .wake_list
+                .drain(|_, _, _| DrainVerdict::Consume);
         }
         self.lanes.push(slot, Event::ThreadExit { t });
         self.slot_alloc.release(slot);
@@ -666,39 +700,30 @@ impl AvoidanceCore {
                             self.record_go(log, Some(&view), was_yielding, t, l, frames, stack);
                             break None;
                         }
-                        Some((inst, locked)) => {
+                        Some((inst, proof)) => {
                             if self.config.enforce_yields {
-                                // Register in the wake shards while still
-                                // holding the cover's member shards: a
-                                // concurrent release of a cause lock must
-                                // pass its entry's (locked) bucket shard
-                                // before its wake lookup, so it cannot slip
-                                // between this decision and the
-                                // registration and lose the wakeup.
-                                self.insert_yielding(
-                                    t,
-                                    inst.causes.iter().map(|c| (c.thread, c.lock)).collect(),
-                                );
-                                drop(locked);
+                                // Publish the wake registrations first
+                                // (SeqCst pushes), then revalidate both the
+                                // generation and the cover's bucket
+                                // sequences: a cause release removes its
+                                // entry (sequence bump) *before* draining
+                                // its wake list, so either the
+                                // revalidation here observes the churn and
+                                // retries, or the drain observes the
+                                // registration and delivers the wakeup —
+                                // see the module docs' protocol.
+                                self.insert_yielding(t, &inst.causes);
                                 drop(log);
-                                // Rebuild-boundary guard: the shard hold
-                                // only serializes releases against *this*
-                                // view's table. If the generation moved, a
-                                // cause release may already have consulted
-                                // the newly published table — and then the
-                                // wake-shard hand-off guarantees this load
-                                // sees the new generation — so retract the
-                                // registration and re-decide.
-                                if view.generation != self.history.generation() {
+                                if view.generation != self.history.generation()
+                                    || !proof.still_valid(&view)
+                                {
+                                    Stats::bump(&self.stats.hot(slot).cover_retries);
                                     self.remove_yielding(t);
                                     continue;
                                 }
                             } else {
                                 // Measurement mode: record the would-be
-                                // yield but proceed as GO. The cover's
-                                // shards must unlock first — the insert
-                                // re-locks some of them.
-                                drop(locked);
+                                // yield but proceed as GO.
                                 self.record_go(log, Some(&view), was_yielding, t, l, frames, stack);
                             }
                             break Some(inst);
@@ -849,12 +874,13 @@ impl AvoidanceCore {
             let slot = t.0 as usize;
             // Pop the innermost entry from our private log and decide —
             // against the view current at pop time — whether the shared
-            // buckets ever saw it.
+            // buckets ever saw it. The bucket removal (sequence bump) must
+            // precede the wake-list check below: that order is what lets a
+            // concurrent cover decision trust a validated sequence (module
+            // docs' protocol).
             let popped = self.pop_entry(slot, l);
             self.owner.release(l, t);
-            let mut relevant = false;
             if let Some((stack, Some((view, frames)))) = &popped {
-                relevant = true;
                 Self::remove_buckets(
                     view,
                     frames,
@@ -865,11 +891,28 @@ impl AvoidanceCore {
                     },
                 );
             }
-            if relevant || self.yielder_count.load(Ordering::Acquire) > 0 {
-                let map = self.wake_shard(t, l).lock();
-                if let Some(yielders) = map.get(&(t, l)) {
-                    wake.extend(yielders.iter().copied());
-                }
+            // Swap-and-drain our own wake list (single-drainer: only the
+            // owner thread releases its locks). The empty check is a
+            // SeqCst load, so skipping the drain keeps the ordering
+            // argument intact.
+            let me = &self.slots[slot];
+            if !me.wake_list.is_empty() {
+                let hot = self.stats.hot(slot);
+                Stats::bump(&hot.wake_drains);
+                me.wake_list.drain(|key, yielder, epoch| {
+                    let y = yielder as usize;
+                    if self.slots[y].wake_epoch.load(Ordering::Acquire) != epoch {
+                        // Retracted or superseded registration.
+                        DrainVerdict::Consume
+                    } else if key == l.0 {
+                        wake.push(ThreadId(yielder));
+                        DrainVerdict::Consume
+                    } else {
+                        // Live registration against another of our locks.
+                        Stats::bump(&hot.wake_retained);
+                        DrainVerdict::Retain
+                    }
+                });
             }
         }
         Stats::bump(&self.stats.hot(t.0 as usize).releases);
@@ -1006,27 +1049,32 @@ impl AvoidanceCore {
             return;
         }
         Stats::bump(&self.stats.rebuilds);
-        let snapshot = self.history.snapshot();
-        let mut depths: Vec<u8> = snapshot
-            .iter()
-            .filter(|s| !s.is_disabled())
-            .map(|s| s.depth())
-            .collect();
-        depths.sort_unstable();
-        depths.dedup();
         let index = if self.config.use_match_index {
             Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
         } else {
             None
         };
+        // The bucket layout — and hence the table size — adapts to the
+        // generation's distinct member-key count; linear-scan mode builds
+        // the same layout directly (it only skips the candidate index).
+        let layout = match &index {
+            Some(ix) => Arc::clone(ix.layout()),
+            None => Arc::new(BucketLayout::build(&self.history, &self.stacks)),
+        };
+        let depths: Vec<u8> = layout.depths().collect();
+        // Adaptive occupancy sizing: one counter per bucket key makes the
+        // fingerprints collision-free; the config knob stays as an
+        // override for bounding memory on huge histories.
+        let occupancy_slots = self
+            .config
+            .occupancy_slots
+            .unwrap_or_else(|| layout.len().max(1));
         let view = Arc::new(MatchView {
             generation: gen,
             depths,
             index,
-            table: Arc::new(MatchTable::new(
-                self.config.match_shards,
-                self.config.occupancy_slots,
-            )),
+            table: Arc::new(MatchTable::new(layout.len(), occupancy_slots)),
+            layout,
         });
         self.view_cell.publish(Arc::clone(&view));
         // Sweep every per-thread log into the fresh buckets, in slot order
@@ -1075,11 +1123,14 @@ impl AvoidanceCore {
         total + self.slots.len() * core::mem::size_of::<ThreadSlot>()
     }
 
-    /// Inserts the entry into the view's buckets at every enabled depth.
+    /// Inserts the entry into the view's buckets at every enabled depth
+    /// whose suffix is a layout key (others are invisible to covers).
     fn insert_buckets(view: &MatchView, frames: &[FrameId], e: AllowedEntry) {
         for &d in &view.depths {
             let suffix = suffix_of(frames, d as usize);
-            view.table.insert(d, suffix, suffix_hash(d, suffix), e);
+            if let Some(slot) = view.layout.slot_of(d, suffix) {
+                view.table.insert(slot, e);
+            }
         }
     }
 
@@ -1088,119 +1139,160 @@ impl AvoidanceCore {
     fn remove_buckets(view: &MatchView, frames: &[FrameId], e: AllowedEntry) {
         for &d in &view.depths {
             let suffix = suffix_of(frames, d as usize);
-            view.table.remove(d, suffix, suffix_hash(d, suffix), e);
-        }
-    }
-
-    #[inline]
-    fn wake_shard(&self, t: ThreadId, l: LockId) -> &WakeShard {
-        let h = mix64(t.0.rotate_left(32) ^ l.0) as usize;
-        &self.wake_shards[h & (WAKE_SHARDS - 1)]
-    }
-
-    /// Registers `t` as yielding on `causes`: updates its slot's cause
-    /// list, the wake shards, the yielder count and the slot flag.
-    fn insert_yielding(&self, t: ThreadId, causes: Vec<(ThreadId, LockId)>) {
-        let slot = &self.slots[t.0 as usize];
-        let mut yc = slot.yield_causes.lock();
-        if yc.is_empty() {
-            self.yielder_count.fetch_add(1, Ordering::Release);
-        } else {
-            for cause in yc.drain(..) {
-                self.wake_unindex(cause, t);
+            if let Some(slot) = view.layout.slot_of(d, suffix) {
+                view.table.remove(slot, e);
             }
         }
-        for &cause in &causes {
-            self.wake_shard(cause.0, cause.1)
-                .lock()
-                .entry(cause)
-                .or_default()
-                .push(t);
+    }
+
+    /// Registers `t` as yielding on `causes`: bumps its registration epoch
+    /// (atomically retracting any previous registration) and pushes one
+    /// lock-free node into each cause thread's wake list.
+    fn insert_yielding(&self, t: ThreadId, causes: &[YieldCause]) {
+        let slot = &self.slots[t.0 as usize];
+        let epoch = slot.wake_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        for c in causes {
+            self.slots[c.thread.0 as usize]
+                .wake_list
+                .push(c.lock.0, t.0, epoch);
         }
-        *yc = causes;
         slot.in_yielding.store(true, Ordering::Relaxed);
     }
 
-    /// Removes `t` from the yielding bookkeeping (no-op when not yielding).
+    /// Retracts `t`'s yield registration: one epoch bump invalidates every
+    /// outstanding node (drainers free them lazily). No-op-safe when not
+    /// yielding.
     fn remove_yielding(&self, t: ThreadId) {
         let Some(slot) = self.slots.get(t.0 as usize) else {
             return;
         };
-        let mut yc = slot.yield_causes.lock();
-        if !yc.is_empty() {
-            for cause in yc.drain(..) {
-                self.wake_unindex(cause, t);
-            }
-            self.yielder_count.fetch_sub(1, Ordering::Release);
-        }
+        slot.wake_epoch.fetch_add(1, Ordering::SeqCst);
         slot.in_yielding.store(false, Ordering::Relaxed);
     }
 
-    fn wake_unindex(&self, cause: (ThreadId, LockId), t: ThreadId) {
-        let mut map = self.wake_shard(cause.0, cause.1).lock();
-        if let Some(v) = map.get_mut(&cause) {
-            if let Some(pos) = v.iter().position(|&x| x == t) {
-                v.swap_remove(pos);
-            }
-            if v.is_empty() {
-                map.remove(&cause);
-            }
-        }
-    }
-
-    /// Precomputes member bucket keys for `sig` at depth `d` (used when the
-    /// index's cached keys are stale or absent).
-    fn member_keys_at(&self, sig: &Signature, d: u8) -> Vec<MemberKey> {
-        CoverKeys::compute(sig, d, &self.stacks).members
+    /// Precomputes member bucket keys for `sig` at depth `d`, resolved
+    /// against `view`'s layout (used when the index's cached keys are stale
+    /// or absent — linear-scan mode, or a live depth change racing a
+    /// rebuild).
+    fn member_keys_at(&self, view: &MatchView, sig: &Signature, d: u8) -> Vec<MemberKey> {
+        let mut keys = CoverKeys::compute(sig, d, &self.stacks);
+        keys.resolve(&view.layout);
+        keys.members
     }
 
     /// The guard-free cover precheck: a signature can only be instantiated
     /// if every non-anchor member bucket is non-empty, so one zero
-    /// occupancy fingerprint refutes the candidate without locking.
+    /// occupancy fingerprint refutes the candidate without reading any
+    /// bucket. A member key outside the layout has no bucket at all —
+    /// provably empty.
     fn cover_possible(view: &MatchView, keys: &[MemberKey], anchor: usize) -> bool {
-        keys.iter()
-            .enumerate()
-            .all(|(i, mk)| i == anchor || view.table.occupancy.possibly_nonempty(mk.hash))
+        keys.iter().enumerate().all(|(i, mk)| {
+            i == anchor
+                || mk
+                    .slot
+                    .is_some_and(|s| view.table.occupancy.possibly_nonempty(u64::from(s)))
+        })
     }
 
     /// Searches the history for a signature that the tentative allow edge
     /// `(t, l, stack)` would instantiate (§5.4). On a hit, the successful
-    /// cover's shard guards are returned still held, so the caller can
-    /// register the yield in the wake shards before any release of a cause
-    /// entry can get past its bucket shard (see `request`).
-    fn find_instance<'v>(
+    /// cover's [`CoverProof`] (the validated bucket sequences its decision
+    /// was computed from) is returned, so the caller can register the
+    /// yield and then revalidate (see `request`).
+    fn find_instance(
         &self,
-        view: &'v MatchView,
+        view: &MatchView,
         slot: usize,
         t: ThreadId,
         l: LockId,
         frames: &[FrameId],
         stack: StackId,
-    ) -> Option<(Instance, LockedShards<'v>)> {
+    ) -> Option<(Instance, CoverProof)> {
         let hot = self.stats.hot(slot);
         if let Some(index) = &view.index {
-            for (sig, member, keys) in index.candidates(frames) {
-                let d = sig.depth();
-                let fresh_keys;
-                let member_keys: &[MemberKey] = if d == keys.depth {
-                    &keys.members
-                } else {
-                    // Depth changed since the index was built (generation
-                    // bump pending); recompute live like the reference.
-                    fresh_keys = self.member_keys_at(sig, d);
-                    &fresh_keys
-                };
-                if !Self::cover_possible(view, member_keys, member) {
-                    Stats::bump(&hot.precheck_skips);
-                    continue;
+            // Batch the per-candidate precheck counter: a hot suffix can
+            // carry dozens of candidates, and per-candidate atomic bumps
+            // measurably tax the contended rows.
+            let mut skips = 0_u64;
+            let mut found = None;
+            'sets: for set in index.candidate_sets(frames) {
+                // Whole-set fast rejects: every candidate needs all of its
+                // other-member buckets non-empty, and every candidate has
+                // at least one. O(1) form first — if the table's only
+                // non-empty bucket is this suffix's own, every other
+                // bucket is empty; otherwise one tight loop over the set's
+                // contiguous slot array. The hot suffix of a large history
+                // takes one of these paths on almost every request.
+                // No emptiness argument applies to a single-member
+                // signature — its anchor request instantiates it alone.
+                if !set.candidates().is_empty() && !set.has_lone_member() {
+                    let ne = view.table.nonempty.load(Ordering::Acquire);
+                    let rejected = match ne {
+                        0 => true,
+                        // The only non-empty bucket being the requester's
+                        // own refutes every candidate — unless some
+                        // candidate pairs two same-suffix members and can
+                        // cover out of that very bucket, or fingerprint
+                        // aliasing (occupancy override below the key
+                        // count) keeps the non-zero read from identifying
+                        // the bucket.
+                        1 if !set.self_paired() && view.table.exact_occupancy() => view
+                            .table
+                            .occupancy
+                            .possibly_nonempty(u64::from(set.self_slot())),
+                        _ => false,
+                    } || !set
+                        .all_other_slots()
+                        .iter()
+                        .any(|&s| view.table.occupancy.possibly_nonempty(u64::from(s)));
+                    if rejected {
+                        skips += set.candidates().len() as u64;
+                        continue;
+                    }
                 }
-                Stats::bump(&hot.cover_searches);
-                if let Some(found) = self.try_cover(view, sig, d, member_keys, member, t, l, stack)
-                {
-                    return Some(found);
+                for (i, c) in set.candidates().iter().enumerate() {
+                    // Precheck over the set's flat other-member slots: one
+                    // fingerprint load per slot, no per-candidate pointer
+                    // chasing. A refuted candidate skips even the live
+                    // depth guard — a depth change always rides a
+                    // generation bump (monitor sets depth then touches),
+                    // so a stale-keys refutation is only reachable in the
+                    // concurrent mid-bump window the engine already
+                    // tolerates.
+                    if !set
+                        .other_slots(i)
+                        .iter()
+                        .all(|&s| view.table.occupancy.possibly_nonempty(u64::from(s)))
+                    {
+                        skips += 1;
+                        continue;
+                    }
+                    let d = c.sig.depth();
+                    let fresh_keys;
+                    let member_keys: &[MemberKey] = if d == c.keys.depth {
+                        &c.keys.members
+                    } else {
+                        // Depth changed since the index was built
+                        // (generation bump pending); recompute live like
+                        // the reference.
+                        fresh_keys = self.member_keys_at(view, &c.sig, d);
+                        if !Self::cover_possible(view, &fresh_keys, c.member) {
+                            skips += 1;
+                            continue;
+                        }
+                        &fresh_keys
+                    };
+                    Stats::bump(&hot.cover_searches);
+                    found = Self::try_cover(view, &c.sig, d, member_keys, c.member, t, l, stack);
+                    if found.is_some() {
+                        break 'sets;
+                    }
                 }
             }
-            None
+            if skips > 0 {
+                hot.precheck_skips.fetch_add(skips, Ordering::Relaxed);
+            }
+            found
         } else {
             // Paper-style linear walk over the history.
             let snapshot = self.history.snapshot();
@@ -1217,13 +1309,14 @@ impl AvoidanceCore {
                     }
                     let mframes = self.stacks.resolve(mstack);
                     if suffix_matches(frames, &mframes, d as usize) {
-                        let keys = sig_keys.get_or_insert_with(|| self.member_keys_at(sig, d));
+                        let keys =
+                            sig_keys.get_or_insert_with(|| self.member_keys_at(view, sig, d));
                         if !Self::cover_possible(view, keys, mi) {
                             Stats::bump(&hot.precheck_skips);
                             continue;
                         }
                         Stats::bump(&hot.cover_searches);
-                        if let Some(found) = self.try_cover(view, sig, d, keys, mi, t, l, stack) {
+                        if let Some(found) = Self::try_cover(view, sig, d, keys, mi, t, l, stack) {
                             return Some(found);
                         }
                     }
@@ -1235,13 +1328,16 @@ impl AvoidanceCore {
 
     /// Attempts to cover `sig`'s member stacks (anchoring the current thread
     /// at member `anchor`) with distinct `(thread, lock)` entries from the
-    /// `Allowed` buckets — the "exact cover" of §3. Locks only the shards
-    /// of the signature's member suffixes, in ascending shard order; on
-    /// success the guards are returned still held.
+    /// `Allowed` buckets — the "exact cover" of §3. Entirely read-only and
+    /// optimistic: each distinct member bucket is copied once with a
+    /// validated sequence ([`VersionedBucket::read_into`]), the search runs
+    /// over those snapshots, and a successful cover returns the
+    /// `(bucket, sequence)` proof for post-registration revalidation. The
+    /// per-bucket copies preserve `Vec` order, so sequential decisions are
+    /// byte-identical to the reference engine's.
     #[allow(clippy::too_many_arguments)] // Packed cover-search inputs.
-    fn try_cover<'v>(
-        &self,
-        view: &'v MatchView,
+    fn try_cover(
+        view: &MatchView,
         sig: &Arc<Signature>,
         d: u8,
         keys: &[MemberKey],
@@ -1249,17 +1345,30 @@ impl AvoidanceCore {
         t: ThreadId,
         l: LockId,
         stack: StackId,
-    ) -> Option<(Instance, LockedShards<'v>)> {
+    ) -> Option<(Instance, CoverProof)> {
         let members: Vec<usize> = (0..keys.len()).filter(|&i| i != anchor).collect();
-        let mut shard_ids: Vec<usize> = members
-            .iter()
-            .map(|&i| view.table.shard_index(keys[i].hash))
-            .collect();
-        shard_ids.sort_unstable();
-        shard_ids.dedup();
-        let locked = view.table.lock_shards(&shard_ids);
+        let mut snaps: Vec<BucketSnap> = Vec::with_capacity(members.len());
+        let mut scratch: Vec<[u64; 3]> = Vec::new();
+        for &i in &members {
+            // `cover_possible` vouched for every member, but a raced depth
+            // change can leave a key outside the layout: no bucket, no
+            // cover.
+            let slot = keys[i].slot?;
+            if snaps.iter().any(|s| s.slot == slot) {
+                continue; // members with identical keys share one snapshot
+            }
+            let seq = view.table.buckets[slot as usize].read_into(&mut scratch);
+            if scratch.is_empty() {
+                return None; // a required member bucket is empty
+            }
+            snaps.push(BucketSnap {
+                slot,
+                seq,
+                entries: scratch.iter().copied().map(AllowedEntry::decode).collect(),
+            });
+        }
         let mut chosen: Vec<(ThreadId, LockId, StackId, StackId)> = Vec::new();
-        if Self::cover_rec(view, &locked, d, keys, &members, 0, t, l, &mut chosen) {
+        if Self::cover_rec(&snaps, keys, &members, 0, t, l, &mut chosen) {
             let causes = chosen
                 .iter()
                 .map(|&(ct, cl, cs, _)| YieldCause {
@@ -1277,7 +1386,7 @@ impl AvoidanceCore {
                     causes,
                     bindings,
                 },
-                locked,
+                CoverProof(snaps.iter().map(|s| (s.slot, s.seq)).collect()),
             ))
         } else {
             None
@@ -1286,9 +1395,7 @@ impl AvoidanceCore {
 
     #[allow(clippy::too_many_arguments)] // Recursive helper over packed search state.
     fn cover_rec(
-        view: &MatchView,
-        locked: &LockedShards<'_>,
-        d: u8,
+        snaps: &[BucketSnap],
         keys: &[MemberKey],
         members: &[usize],
         i: usize,
@@ -1300,8 +1407,12 @@ impl AvoidanceCore {
             return true;
         }
         let mk = &keys[members[i]];
-        let Some(candidates) = locked.bucket(view.table.shard_index(mk.hash), d, &mk.suffix) else {
-            return false;
+        let candidates = match mk
+            .slot
+            .and_then(|slot| snaps.iter().find(|s| s.slot == slot))
+        {
+            Some(snap) => &snap.entries,
+            None => return false,
         };
         for e in candidates {
             let distinct =
@@ -1310,13 +1421,56 @@ impl AvoidanceCore {
                 continue;
             }
             chosen.push((e.t, e.l, e.stack, mk.stack));
-            if Self::cover_rec(view, locked, d, keys, members, i + 1, t, l, chosen) {
+            if Self::cover_rec(snaps, keys, members, i + 1, t, l, chosen) {
                 return true;
             }
             chosen.pop();
         }
         false
     }
+
+    /// Live-occupancy skew across the current generation's buckets
+    /// (telemetry; racy reads, no synchronization).
+    pub fn occupancy_skew(&self) -> OccupancySkew {
+        let view = self.view_cell.load();
+        let mut skew = OccupancySkew {
+            buckets: view.table.buckets.len(),
+            ..OccupancySkew::default()
+        };
+        for bucket in view.table.buckets.iter() {
+            let n = bucket.approx_len() as u64;
+            skew.live_entries += n;
+            skew.hottest = skew.hottest.max(n);
+            let bin = match n {
+                0 => 0,
+                1 => 1,
+                2..=3 => 2,
+                4..=7 => 3,
+                8..=15 => 4,
+                16..=31 => 5,
+                32..=63 => 6,
+                _ => 7,
+            };
+            skew.hist[bin] += 1;
+        }
+        skew
+    }
+}
+
+/// Snapshot of per-bucket live-entry skew (see
+/// [`AvoidanceCore::occupancy_skew`]): makes a hot signature-member bucket
+/// visible without a profiler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OccupancySkew {
+    /// Bucket count of the current generation (== distinct member keys).
+    pub buckets: usize,
+    /// Total live `Allowed` entries across all buckets.
+    pub live_entries: u64,
+    /// Live-entry count of the hottest single bucket.
+    pub hottest: u64,
+    /// Bucket-count histogram by live entries:
+    /// `[0, 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+]`.
+    pub hist: [u64; 8],
 }
 
 impl std::fmt::Debug for AvoidanceCore {

@@ -26,10 +26,10 @@ pub enum Immunity {
 /// supervises; an ordinary OS mutex works too and is faster uncontended —
 /// the `substrate` Criterion bench quantifies the trade (ablation #1 in
 /// DESIGN.md). The production [`crate::AvoidanceCore`] no longer has a
-/// global guard at all: its match state is sharded behind per-shard
-/// mutexes (see [`Config::match_shards`]), so this knob now selects the
-/// guard of the preserved single-lock [`crate::ReferenceCore`] used for
-/// differential testing and benchmarking.
+/// guard at all: its cover/wake path is lock-free (versioned buckets +
+/// Treiber wake lists), so this knob now selects the guard of the
+/// preserved single-lock [`crate::ReferenceCore`] used for differential
+/// testing and benchmarking.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum GuardKind {
     /// Tournament tree of two-thread Peterson locks: O(log n), loads/stores
@@ -105,19 +105,15 @@ pub struct Config {
     /// candidate signatures instead of scanning the whole history on every
     /// request (ablation; both are benchmarked).
     pub use_match_index: bool,
-    /// Number of suffix-bucket shards in the sharded match state (rounded
-    /// up to a power of two). Requests hitting *different* signature-member
-    /// buckets contend only when their suffixes hash to the same shard, so
-    /// this bounds cross-signature interference on the matching path;
-    /// memory cost is one mutex-guarded map per shard per history
-    /// generation. Default 128.
-    pub match_shards: usize,
     /// Number of occupancy-fingerprint counters published alongside the
-    /// bucket shards (rounded up to a power of two). More slots mean fewer
-    /// hash collisions, i.e. fewer requests that take a shard lock only to
-    /// find the required member bucket empty. 4 bytes per slot. Default
-    /// 2048.
-    pub occupancy_slots: usize,
+    /// versioned bucket array (rounded up to a power of two). `None`
+    /// (default) sizes them adaptively at rebuild time from the match
+    /// index's `key_count()` — at least one counter per distinct
+    /// `(depth, suffix)` bucket key, which makes the fingerprints
+    /// collision-free and the guard-free cover precheck exact. Set to
+    /// bound memory on huge histories (collisions only cost spurious
+    /// cover searches, never soundness). 4 bytes per slot.
+    pub occupancy_slots: Option<usize>,
     /// Structural false-positive accounting for the Figure 9 experiment:
     /// when set to the program's full stack depth `D`, every yield is
     /// classified immediately — a *true* positive if all instance bindings
@@ -144,8 +140,7 @@ impl Default for Config {
             mode: RuntimeMode::Full,
             enforce_yields: true,
             use_match_index: true,
-            match_shards: 128,
-            occupancy_slots: 2048,
+            occupancy_slots: None,
             structural_fp_reference_depth: None,
         }
     }

@@ -68,7 +68,7 @@ pub mod runtime;
 pub mod stats;
 pub mod sync;
 
-pub use avoidance::{AvoidanceCore, Decision};
+pub use avoidance::{AvoidanceCore, Decision, OccupancySkew};
 pub use config::{Config, GuardKind, Immunity, RuntimeMode};
 pub use event::{Event, YieldInfo};
 pub use lanes::EventLanes;

@@ -156,6 +156,8 @@ pub struct Monitor {
     hooks: Arc<Hooks>,
     /// Whether the history changed and must be persisted.
     dirty: bool,
+    /// Pass counter for sampling the O(bucket-count) occupancy-skew gauge.
+    skew_tick: u32,
     last_save_error: Option<HistoryError>,
 }
 
@@ -181,6 +183,7 @@ impl Monitor {
             stats,
             hooks,
             dirty: false,
+            skew_tick: 0,
             last_save_error: None,
         }
     }
@@ -203,6 +206,17 @@ impl Monitor {
         // Own the bucket/index rebuild: republish the match view if the
         // history generation moved, so the hot path never rebuilds inline.
         core.refresh_published();
+        // Occupancy-skew gauge: track the hottest bucket seen so far.
+        // Sampled every 8th pass — the scan is O(bucket count) and loads
+        // each bucket's writer-owned length word, so running it every τ
+        // would steadily bounce hot writers' cache lines.
+        if self.skew_tick.is_multiple_of(8) {
+            let hottest = core.occupancy_skew().hottest;
+            self.stats
+                .hot_bucket_peak
+                .fetch_max(hottest, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.skew_tick = self.skew_tick.wrapping_add(1);
         self.drain_events();
         self.detect_deadlocks();
         self.detect_starvation(core, waker);

@@ -321,8 +321,8 @@ impl ReferenceCore {
         stack: StackId,
     ) -> Option<(Arc<Signature>, u8, Vec<YieldCause>, Vec<(StackId, StackId)>)> {
         if let Some(index) = &state.index {
-            for (sig, member, _) in index.candidates(frames) {
-                if let Some(inst) = self.try_cover(state, sig, member, t, l, stack) {
+            for c in index.candidates(frames) {
+                if let Some(inst) = self.try_cover(state, &c.sig, c.member, t, l, stack) {
                     return Some(inst);
                 }
             }

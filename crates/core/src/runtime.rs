@@ -369,6 +369,12 @@ impl Runtime {
         self.inner.stats.snapshot()
     }
 
+    /// Live per-bucket occupancy skew of the avoidance state (hot-bucket
+    /// telemetry; see [`crate::OccupancySkew`]).
+    pub fn occupancy_skew(&self) -> crate::OccupancySkew {
+        self.inner.core.occupancy_skew()
+    }
+
     /// Raw counters (for hot-path use by lock types).
     pub(crate) fn stats_ref(&self) -> &Stats {
         &self.inner.stats

@@ -25,10 +25,19 @@ pub struct HotStripe {
     /// Locks released.
     pub releases: AtomicU64,
     /// Signature candidates dismissed by the guard-free occupancy precheck
-    /// (a required member bucket was provably empty — no shard was locked).
+    /// (a required member bucket was provably empty — nothing was read).
     pub precheck_skips: AtomicU64,
-    /// Shard-locked exact-cover searches actually performed.
+    /// Optimistic exact-cover searches actually performed.
     pub cover_searches: AtomicU64,
+    /// Cover decisions retried because a member bucket's version moved
+    /// between the optimistic read and the post-registration revalidation
+    /// (the lock-free no-lost-wakeup protocol's churn path).
+    pub cover_retries: AtomicU64,
+    /// Release-side wake-list swap-and-drains performed (list non-empty).
+    pub wake_drains: AtomicU64,
+    /// Wake-list nodes retained (re-pushed) by a drain because they were
+    /// live registrations for a different lock of the same cause thread.
+    pub wake_retained: AtomicU64,
 }
 
 /// Monotonic counters exposed by a runtime; all relaxed atomics, cheap to
@@ -79,6 +88,10 @@ pub struct Stats {
     /// Monitor-lag gauge: cumulative events that overflowed a full lane
     /// into the shared MPSC queue.
     pub lane_overflows: AtomicU64,
+    /// Occupancy-skew gauge: the highest live-entry count observed in any
+    /// single `Allowed` bucket (updated by monitor passes; a hot bucket
+    /// here means one signature member's suffix concentrates the load).
+    pub hot_bucket_peak: AtomicU64,
 }
 
 impl Default for Stats {
@@ -104,6 +117,7 @@ impl Default for Stats {
             events_last_drain: AtomicU64::new(0),
             lane_high_water: AtomicU64::new(0),
             lane_overflows: AtomicU64::new(0),
+            hot_bucket_peak: AtomicU64::new(0),
         }
     }
 }
@@ -152,9 +166,24 @@ impl Stats {
         self.hot_sum(|s| &s.precheck_skips)
     }
 
-    /// Total shard-locked cover searches across all stripes.
+    /// Total optimistic cover searches across all stripes.
     pub fn cover_searches(&self) -> u64 {
         self.hot_sum(|s| &s.cover_searches)
+    }
+
+    /// Total churn-retried cover decisions across all stripes.
+    pub fn cover_retries(&self) -> u64 {
+        self.hot_sum(|s| &s.cover_retries)
+    }
+
+    /// Total wake-list drains across all stripes.
+    pub fn wake_drains(&self) -> u64 {
+        self.hot_sum(|s| &s.wake_drains)
+    }
+
+    /// Total wake-list nodes retained across all stripes.
+    pub fn wake_retained(&self) -> u64 {
+        self.hot_sum(|s| &s.wake_retained)
     }
 
     /// Convenience relaxed increment.
@@ -177,6 +206,9 @@ impl Stats {
             releases: self.releases(),
             precheck_skips: self.precheck_skips(),
             cover_searches: self.cover_searches(),
+            cover_retries: self.cover_retries(),
+            wake_drains: self.wake_drains(),
+            wake_retained: self.wake_retained(),
             yield_aborts: Self::get(&self.yield_aborts),
             yields_broken: Self::get(&self.yields_broken),
             deadlocks_detected: Self::get(&self.deadlocks_detected),
@@ -193,6 +225,7 @@ impl Stats {
             events_last_drain: Self::get(&self.events_last_drain),
             lane_high_water: Self::get(&self.lane_high_water),
             lane_overflows: Self::get(&self.lane_overflows),
+            hot_bucket_peak: Self::get(&self.hot_bucket_peak),
         }
     }
 }
@@ -212,8 +245,14 @@ pub struct StatsSnapshot {
     pub releases: u64,
     /// Signature candidates dismissed by the guard-free occupancy precheck.
     pub precheck_skips: u64,
-    /// Shard-locked exact-cover searches performed.
+    /// Optimistic exact-cover searches performed.
     pub cover_searches: u64,
+    /// Cover decisions retried on version churn.
+    pub cover_retries: u64,
+    /// Wake-list swap-and-drains performed.
+    pub wake_drains: u64,
+    /// Wake-list nodes retained (re-pushed) by drains.
+    pub wake_retained: u64,
     /// Yields aborted by the max-yield bound.
     pub yield_aborts: u64,
     /// Yields broken by the monitor.
@@ -246,6 +285,8 @@ pub struct StatsSnapshot {
     pub lane_high_water: u64,
     /// Cumulative lane-overflow events.
     pub lane_overflows: u64,
+    /// Highest live-entry count observed in any single bucket.
+    pub hot_bucket_peak: u64,
 }
 
 impl fmt::Debug for StatsSnapshot {

@@ -111,6 +111,53 @@ fn arb_hit_heavy_script() -> impl Strategy<Value = Vec<Action>> {
     )
 }
 
+/// Schedule for the shared-cause generator: one signature over sites 0/1
+/// seeded up front, then pure scheduling noise — the scripts below funnel
+/// every yield cause onto thread 0, so all wake traffic goes through one
+/// `WakeList` (drain ordering, retained nodes, epoch retraction).
+fn arb_hot_cause_schedule() -> impl Strategy<Value = Vec<Step>> {
+    (
+        1_u8..3,
+        prop::collection::vec((0_u8..THREADS as u8).prop_map(Step::Run), 0..200),
+    )
+        .prop_map(|(depth, runs)| {
+            let mut steps = vec![Step::AddSig { i: 0, j: 1, depth }];
+            steps.extend(runs);
+            steps
+        })
+}
+
+/// Thread 0's script under the shared-cause generator: churn locks 0/1
+/// through site 0 — its `Allowed` entries are the only possible cover
+/// members, so it is the cause thread of every yield, and its unlocks
+/// exercise both drain verdicts (a release of lock 1 must *retain* a
+/// registration keyed by lock 0).
+fn arb_holder_script() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0_u8..2).prop_map(|l| Action::Lock(l, 0)),
+            (0_u8..2).prop_map(|l| Action::Lock(l, 0)),
+            (0_u8..1).prop_map(|_| Action::Unlock),
+        ],
+        0..16,
+    )
+}
+
+/// A waiter's script under the shared-cause generator: thread `w` drives
+/// its own lock through site 1, so every one of its yields is caused by
+/// thread 0's site-0 entries.
+fn arb_waiter_script(w: u8) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0_u8..1).prop_map(move |_| Action::Lock(w, 1)),
+            (0_u8..1).prop_map(move |_| Action::Lock(w, 1)),
+            (0_u8..1).prop_map(move |_| Action::TryLock(w, 1)),
+            (0_u8..1).prop_map(|_| Action::Unlock),
+        ],
+        0..16,
+    )
+}
+
 fn arb_script() -> impl Strategy<Value = Vec<Action>> {
     prop::collection::vec(
         prop_oneof![
@@ -435,6 +482,22 @@ proptest! {
         prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
     }
 
+    /// Same agreement when every yield shares thread 0 as its cause — the
+    /// lock-free `WakeList` path (Treiber pushes, swap-and-drain, retained
+    /// nodes, epoch retraction) must deliver exactly the wake sets the
+    /// reference's yielding-map scan produces, at every step.
+    #[test]
+    fn sharded_engine_matches_reference_hot_cause(
+        schedule in arb_hot_cause_schedule(),
+        s0 in arb_holder_script(),
+        s1 in arb_waiter_script(1),
+        s2 in arb_waiter_script(2),
+        s3 in arb_waiter_script(3),
+    ) {
+        let result = run_differential(true, &schedule, [s0, s1, s2, s3]);
+        prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
+    }
+
     /// Same agreement in linear-scan mode, where the fast path reduces to
     /// the empty-history check.
     #[test]
@@ -483,6 +546,86 @@ fn yield_storm_wakes_every_yielder_in_lockstep() {
         decisions,
         vec![true, false, false, false, true, true, true],
         "three yields on one cause, then three post-wake GOs"
+    );
+}
+
+/// A single-member signature (legal via `History::add` — e.g. a
+/// self-cycle, or a vaccination file) is instantiated by its anchor
+/// request *alone*: no emptiness argument may reject it, so both engines
+/// must YIELD. Regression for the whole-set occupancy fast reject, which
+/// once refuted zero-other-member candidates unconditionally.
+#[test]
+fn single_member_signature_yields_in_both_engines() {
+    let rt = Runtime::new(Config {
+        max_threads: 8,
+        ..Config::default()
+    })
+    .unwrap();
+    let reference = ReferenceCore::new(
+        Config {
+            max_threads: 8,
+            ..Config::default()
+        },
+        Arc::clone(rt.history()),
+        Arc::clone(rt.stack_table()),
+    );
+    let site = rt.make_site(&[("caller", "d.rs", 1), ("inner", "d.rs", 101)]);
+    rt.history()
+        .add(CycleKind::Deadlock, vec![site.stack()], 2)
+        .expect("fresh signature");
+    rt.history().touch();
+    let ta = rt.core().register_thread().unwrap();
+    let tb = reference.register_thread().unwrap();
+    let l = rt.new_lock_id();
+    let da = rt.core().request(ta, l, site.frames(), site.stack());
+    let db = ReferenceCore::request(&reference, tb, l, site.frames(), site.stack());
+    assert!(
+        matches!(da, Decision::Yield { .. }) && matches!(db, Decision::Yield { .. }),
+        "both engines must yield on a lone-member signature: sharded={da:?} reference={db:?}"
+    );
+    rt.core().cancel(ta, l);
+    reference.cancel(tb, l);
+}
+
+/// A deterministic drain-ordering regression for the lock-free wake list:
+/// the cause thread holds two locks acquired through the same site, a
+/// yielder registers against the *first* one (bucket order picks the
+/// first-inserted entry), and the cause thread releases them innermost-
+/// first. The first release (lock 1) must *retain* the registration —
+/// waking nobody, exactly like the reference — and the second release
+/// (lock 0) must deliver it.
+#[test]
+fn retained_wake_registration_survives_unrelated_release() {
+    let schedule = vec![
+        Step::AddSig {
+            i: 0,
+            j: 1,
+            depth: 2,
+        },
+        Step::Run(0), // T0 locks L0 via site 0 (member bucket gains entry 1)
+        Step::Run(0), // T0 locks L1 via site 0 (member bucket gains entry 2)
+        Step::Run(1), // T1 requests L2 via site 1 → cover picks (T0, L0) → YIELD
+        Step::Run(0), // T0 unlocks L1 (innermost): registration retained, no wake
+        Step::Run(1), // T1 still yielding, not woken: no decision
+        Step::Run(0), // T0 unlocks L0: drain delivers the wake
+        Step::Run(1), // T1 retries → member bucket empty → GO
+    ];
+    let scripts = [
+        vec![
+            Action::Lock(0, 0),
+            Action::Lock(1, 0),
+            Action::Unlock,
+            Action::Unlock,
+        ],
+        vec![Action::Lock(2, 1)],
+        vec![],
+        vec![],
+    ];
+    let decisions = run_differential(true, &schedule, scripts).expect("no divergence");
+    assert_eq!(
+        decisions,
+        vec![true, true, false, true],
+        "two holder GOs, one yield on (T0, L0), one post-wake GO"
     );
 }
 

@@ -338,6 +338,98 @@ fn parked_yield_storm_wakes_every_waiter_on_release() {
 }
 
 #[test]
+fn hot_cause_storm_delivers_every_wave_of_wakeups() {
+    // Storm variant of the parked-yield canary for the lock-free wake
+    // path: one holder thread *churns* lock A through SA (insert/remove on
+    // the hot member bucket, one wake-list drain per release) while
+    // waiters repeatedly lock their own locks through SB — every yield
+    // registers against the same hot cause `(holder, A)` via Treiber
+    // pushes. With no yield timeout, any lost wakeup (a drain missing a
+    // registration, a stale-epoch bug consuming a live one, a validation
+    // passing when it must not) parks a waiter forever; the watchdog turns
+    // that hang into a failure. Repeated rounds also exercise cover-retry
+    // churn: the holder's entry appears and disappears under the waiters'
+    // optimistic cover searches.
+    let cfg = Config {
+        max_yield_duration: None,
+        ..quiet_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    let site_sa = rt.make_site(&[("m", "x.rs", 1), ("u", "x.rs", 3)]);
+    let site_sb = rt.make_site(&[("m", "x.rs", 2), ("u", "x.rs", 3)]);
+    rt.history()
+        .add(
+            dimmunix_core::CycleKind::Deadlock,
+            vec![site_sa.stack(), site_sb.stack()],
+            4,
+        )
+        .unwrap();
+    rt.history().touch();
+
+    const WAITERS: usize = 4;
+    /// The storm runs until this many yields have been parked and woken.
+    const YIELD_QUOTA: u64 = 50;
+    let lock_a = Arc::new(rt.raw_lock());
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    // Holder: cycles A — holding it briefly each time so waiters' requests
+    // overlap a bucketed entry and must yield — until every waiter is
+    // done. Each release drains its wake list, so any parked waiter is
+    // woken by the next cycle.
+    {
+        let la = Arc::clone(&lock_a);
+        let sa = site_sa.clone();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            while done.load(Ordering::SeqCst) < WAITERS {
+                la.lock(&sa);
+                std::thread::sleep(Duration::from_millis(1));
+                la.unlock();
+                std::thread::yield_now();
+            }
+        }));
+    }
+    // Waiters: hammer their own locks through SB until the storm has
+    // produced enough parked-and-woken yields.
+    for _ in 0..WAITERS {
+        let rt = rt.clone();
+        let sb = site_sb.clone();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let lock = rt.raw_lock();
+            while rt.stats().yields < YIELD_QUOTA {
+                lock.lock(&sb);
+                lock.unlock();
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for h in handles {
+        while !h.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lost wakeup under the hot-cause storm: {:?}",
+                rt.stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        h.join().unwrap();
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.yield_aborts, 0, "{stats:?}");
+    // The storm must actually have exercised the contended path: the
+    // waiter loops only terminate once the global yields counter reaches
+    // YIELD_QUOTA, and every one of those yields parked against the
+    // holder, so its releases must have drained wake registrations. A
+    // zero here means the workload regressed into never yielding.
+    assert!(
+        stats.yields >= YIELD_QUOTA && stats.wake_drains > 0,
+        "storm never hit the yield/wake path: {stats:?}"
+    );
+}
+
+#[test]
 fn history_persists_across_runtimes() {
     let path = tmp_path("persist");
     std::fs::remove_file(&path).ok();

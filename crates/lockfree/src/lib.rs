@@ -25,7 +25,15 @@
 //! * a **counting occupancy filter** ([`occupancy::OccupancyArray`]) that
 //!   publishes per-bucket occupancy fingerprints, so the request path can
 //!   prove a signature cover impossible (some required bucket empty)
-//!   without locking any bucket shard.
+//!   without touching the bucket itself;
+//! * a **seqlock-versioned bucket** ([`versioned::VersionedBucket`])
+//!   holding the `Allowed` records the exact-cover search probes: readers
+//!   are optimistic (copy, then re-validate the sequence word) and never
+//!   block, and the returned sequence supports the engine's
+//!   register-then-revalidate no-lost-wakeup protocol;
+//! * a **Treiber-style wake list** ([`wakelist::WakeList`]): yield
+//!   registrations are one CAS, and a release's wakeup delivery is one
+//!   swap-and-drain — no wake-shard mutex.
 //!
 //! The crate also provides the small utilities those algorithms need:
 //! exponential [`backoff::Backoff`] for contended spin loops and
@@ -46,6 +54,8 @@ pub mod pad;
 pub mod peterson;
 pub mod spsc;
 pub mod tournament;
+pub mod versioned;
+pub mod wakelist;
 
 pub use backoff::Backoff;
 pub use epoch::EpochCell;
@@ -56,3 +66,5 @@ pub use pad::CachePadded;
 pub use peterson::{FilterLock, FilterLockGuard, SlotAllocator};
 pub use spsc::SpscRing;
 pub use tournament::{TournamentGuard, TournamentLock};
+pub use versioned::{BucketWriter, VersionedBucket};
+pub use wakelist::{DrainVerdict, WakeList};

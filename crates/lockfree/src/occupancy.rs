@@ -1,26 +1,28 @@
 //! Lock-free bucket-occupancy fingerprints.
 //!
-//! The sharded avoidance engine wants to answer "could this suffix bucket
-//! possibly be non-empty?" on the request path *without* taking the
-//! bucket's shard lock. [`OccupancyArray`] supports that with a counting
-//! filter: a power-of-two array of atomic counters, indexed by a hash of
-//! the bucket key. Writers increment the slot when they insert an element
-//! into the bucket and decrement it when they actually remove one, so the
-//! invariant is:
+//! The avoidance engine wants to answer "could this suffix bucket possibly
+//! be non-empty?" on the request path *without* reading the bucket itself.
+//! [`OccupancyArray`] supports that with a counting filter: a power-of-two
+//! array of atomic counters, indexed by the bucket's dense slot (or a hash
+//! when the array is smaller than the key space). Writers increment and
+//! decrement a slot in matched pairs around whatever unit they count —
+//! live elements, or (as the avoidance engine's match table does)
+//! *non-empty buckets*, bumping only on the empty↔non-empty transitions —
+//! so the invariant is:
 //!
-//! > slot count == number of live elements across all buckets whose key
-//! > hashes to the slot.
+//! > slot count == number of live units across all buckets whose key maps
+//! > to the slot.
 //!
 //! A **zero** read therefore proves every bucket mapping to the slot is
-//! empty (no false negatives); a non-zero read may be a hash collision
-//! (false positives only send the reader to the locked slow path). That
+//! empty (no false negatives); a non-zero read may be an alias (false
+//! positives only send the reader to the full cover search). That
 //! one-sided exactness is what makes the guard-free cover precheck sound:
 //! a deadlock-signature instantiation needs *every* member bucket
 //! non-empty, so one zero slot refutes the whole cover.
 //!
 //! Exactness depends on callers pairing increments with successful inserts
-//! and decrements with successful removals — decrementing for an element
-//! that was never inserted would manufacture false "empty" proofs.
+//! and decrements with successful removals — decrementing for a unit
+//! that was never counted would manufacture false "empty" proofs.
 //! Saturating arithmetic guards against the underflow panic, and a debug
 //! assertion catches the pairing bug in tests.
 

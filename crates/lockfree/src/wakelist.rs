@@ -1,0 +1,247 @@
+//! Lock-free wake lists: Treiber-style registration stacks drained on
+//! release.
+//!
+//! The avoidance engine's release-side wakeups used to funnel through hash-
+//! sharded mutexes keyed by yield cause, so one popular cause (a hot lock)
+//! re-serialized every release and yield registration on one mutex.
+//! [`WakeList`] replaces a shard with a per-*cause-thread* Treiber stack:
+//!
+//! * **registration** ([`WakeList::push`]) is one CAS on the list head —
+//!   yielding threads publish `(key, payload, tag)` nodes, where the engine
+//!   uses `key` = the cause lock, `payload` = the yielding thread and
+//!   `tag` = the yielder's registration epoch;
+//! * **release** ([`WakeList::drain`]) is a swap-and-drain: one atomic swap
+//!   detaches the whole stack, then the drainer classifies each node —
+//!   *consume* (deliver or discard) or *retain* (re-push, e.g. a live
+//!   registration for a different lock of the same cause thread).
+//!
+//! # Single-drainer contract
+//!
+//! All drains of one list must be serialized by the caller (the engine
+//! guarantees this structurally: a thread's causes are `(owner thread,
+//! lock)` pairs and only the owner thread releases its own locks, so only
+//! the owner drains its own list). Two concurrent drainers would race on
+//! the retain/re-push window: a node held by one drainer is invisible to
+//! the other, which could miss a wakeup. Pushes may come from any number of
+//! threads concurrently with the single drainer.
+//!
+//! # Memory ordering
+//!
+//! Push and drain are `SeqCst` RMWs on the head; together with the
+//! `SeqCst` sequence word of
+//! [`crate::versioned::VersionedBucket`] this closes the
+//! decide-then-register vs. remove-then-drain race (the Dekker argument in
+//! the avoidance engine's docs): whichever of *push* and *swap* comes
+//! second in the total order observes the other side's effect.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// What a drainer decides for one node (see [`WakeList::drain`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DrainVerdict {
+    /// The node is used up (wake delivered, or registration stale): free it.
+    Consume,
+    /// The node is still live for another key: re-push it onto the list.
+    Retain,
+}
+
+struct Node {
+    key: u64,
+    payload: u64,
+    tag: u64,
+    next: *mut Node,
+}
+
+/// A Treiber-style multi-producer, single-drainer wake list (see module
+/// docs).
+///
+/// # Examples
+///
+/// ```
+/// use dimmunix_lockfree::{DrainVerdict, WakeList};
+///
+/// let list = WakeList::new();
+/// list.push(1, 100, 0); // cause lock 1, yielder 100
+/// list.push(2, 200, 0); // cause lock 2, yielder 200
+/// let mut woken = Vec::new();
+/// list.drain(|key, payload, _tag| {
+///     if key == 1 {
+///         woken.push(payload);
+///         DrainVerdict::Consume
+///     } else {
+///         DrainVerdict::Retain
+///     }
+/// });
+/// assert_eq!(woken, vec![100]);
+/// assert!(!list.is_empty()); // the lock-2 registration survived
+/// ```
+pub struct WakeList {
+    head: AtomicPtr<Node>,
+}
+
+// SAFETY: Nodes are owned by the list once pushed; the head is only
+// manipulated through atomic RMWs, and node payloads are plain integers.
+unsafe impl Send for WakeList {}
+// SAFETY: See above (drain exclusivity is a documented caller contract; it
+// affects liveness, not memory safety — each drainer owns the chain its
+// swap detached).
+unsafe impl Sync for WakeList {}
+
+impl WakeList {
+    /// Creates an empty list.
+    pub const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Whether the list is currently empty. `SeqCst`, so a releaser may use
+    /// it as the drain precheck without weakening the no-lost-wakeup
+    /// ordering argument.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+
+    /// Pushes a registration node. Wait-free except for CAS retries under
+    /// push contention.
+    pub fn push(&self, key: u64, payload: u64, tag: u64) {
+        let node = Box::into_raw(Box::new(Node {
+            key,
+            payload,
+            tag,
+            next: ptr::null_mut(),
+        }));
+        self.push_node(node);
+    }
+
+    fn push_node(&self, node: *mut Node) {
+        let mut head = self.head.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: `node` is exclusively owned until the CAS succeeds.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return,
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Swap-and-drain: detaches the whole stack with one atomic swap, then
+    /// passes each node's `(key, payload, tag)` to `judge`. `Consume` frees
+    /// the node; `Retain` re-pushes it. Returns how many nodes were
+    /// consumed. Callers must honor the single-drainer contract (module
+    /// docs).
+    pub fn drain(&self, mut judge: impl FnMut(u64, u64, u64) -> DrainVerdict) -> usize {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        let mut consumed = 0;
+        while !p.is_null() {
+            // SAFETY: The swap transferred ownership of the whole chain to
+            // this drainer; nodes were Box-allocated by `push`.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+            match judge(node.key, node.payload, node.tag) {
+                DrainVerdict::Consume => consumed += 1,
+                DrainVerdict::Retain => self.push_node(Box::into_raw(node)),
+            }
+        }
+        consumed
+    }
+}
+
+impl Default for WakeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WakeList {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: Exclusive access in `drop`; nodes were Box-allocated.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+        }
+    }
+}
+
+impl fmt::Debug for WakeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WakeList")
+            .field("empty", &self.is_empty())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn consume_and_retain_partition_the_list() {
+        let list = WakeList::new();
+        for i in 0..10_u64 {
+            list.push(i % 2, i, 7);
+        }
+        let mut even = Vec::new();
+        let consumed = list.drain(|key, payload, tag| {
+            assert_eq!(tag, 7);
+            if key == 0 {
+                even.push(payload);
+                DrainVerdict::Consume
+            } else {
+                DrainVerdict::Retain
+            }
+        });
+        assert_eq!(consumed, 5);
+        even.sort_unstable();
+        assert_eq!(even, vec![0, 2, 4, 6, 8]);
+        // The retained odd-key nodes are all still there.
+        let mut odd = Vec::new();
+        list.drain(|_, payload, _| {
+            odd.push(payload);
+            DrainVerdict::Consume
+        });
+        odd.sort_unstable();
+        assert_eq!(odd, vec![1, 3, 5, 7, 9]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushers_single_drainer_no_loss_no_dup() {
+        const PUSHERS: u64 = 6;
+        const PER: u64 = 10_000;
+        let list = Arc::new(WakeList::new());
+        let handles: Vec<_> = (0..PUSHERS)
+            .map(|p| {
+                let list = Arc::clone(&list);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        list.push(0, p * PER + i, 0);
+                    }
+                })
+            })
+            .collect();
+        let mut seen = vec![0_u32; (PUSHERS * PER) as usize];
+        let mut total = 0;
+        while total < PUSHERS * PER {
+            total += list.drain(|_, payload, _| {
+                seen[payload as usize] += 1;
+                DrainVerdict::Consume
+            }) as u64;
+            std::hint::spin_loop();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(list.is_empty());
+        assert!(seen.iter().all(|&c| c == 1), "loss or duplication");
+    }
+}

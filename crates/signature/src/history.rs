@@ -206,8 +206,14 @@ impl History {
 
     /// Monotonic counter bumped on every change that could invalidate cached
     /// snapshots or match indexes.
+    ///
+    /// `SeqCst` on both sides: the avoidance engine's lock-free yield
+    /// protocol re-checks the generation *after* publishing a wake
+    /// registration, and its rebuild-boundary argument needs the bump, the
+    /// registration push and the release-side drain to sit in one total
+    /// order (see the engine's module docs).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Explicitly invalidates caches (call after changing a signature's
@@ -217,7 +223,7 @@ impl History {
     }
 
     fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Serializes the history to its backing file.

@@ -37,6 +37,6 @@ pub mod stack;
 pub use calibration::{CalibrationConfig, CalibrationState, CalibrationUpdate, Phase};
 pub use frame::{Frame, FrameId, FrameTable};
 pub use history::{History, HistoryError};
-pub use match_index::{CoverKeys, MatchIndex, MemberKey};
+pub use match_index::{BucketLayout, Candidate, CandidateSet, CoverKeys, MatchIndex, MemberKey};
 pub use signature::{CycleKind, SigId, Signature};
-pub use stack::{suffix_hash, suffix_matches, suffix_of, CallStack, StackId, StackTable};
+pub use stack::{suffix_matches, suffix_of, CallStack, StackId, StackTable};

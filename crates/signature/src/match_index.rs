@@ -13,28 +13,40 @@
 //! The index is layered per depth (`depth → suffix → members`) so a lookup
 //! borrows the probe suffix directly — no per-request key allocation — and
 //! every candidate carries the signature's precomputed [`CoverKeys`]: one
-//! `(stack, suffix, hash)` triple per member, ready for the sharded
-//! engine's occupancy prechecks and canonical shard-ordered bucket lookups
-//! without resolving or re-hashing member stacks on the request path.
+//! `(stack, suffix, slot)` triple per member, ready for the lock-free
+//! engine's occupancy prechecks and versioned-bucket reads without
+//! resolving or re-hashing member stacks on the request path.
+//!
+//! The distinct `(depth, suffix)` member keys of one history generation
+//! additionally get **dense bucket slots** assigned through a
+//! [`BucketLayout`]: the avoidance engine sizes its versioned `Allowed`
+//! bucket array (and, by default, its occupancy fingerprints) to exactly
+//! `key_count()` slots at rebuild time — the set of bucket keys is known up
+//! front because only entries whose suffix matches some signature member
+//! can ever participate in an exact cover.
 
 use crate::frame::FrameId;
 use crate::history::History;
 use crate::signature::Signature;
-use crate::stack::{suffix_hash, suffix_of, StackId, StackTable};
+use crate::stack::{suffix_of, StackId, StackTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One signature member's precomputed bucket key: the member stack, its
-/// suffix at the signature's matching depth, and the [`suffix_hash`] of
-/// `(depth, suffix)` used for shard selection and occupancy probes.
+/// suffix at the signature's matching depth, and the dense
+/// [`BucketLayout`] slot the engine's versioned bucket (and occupancy
+/// fingerprint) for that key lives at.
 #[derive(Debug)]
 pub struct MemberKey {
     /// The member stack id (`signature.stacks[i]` for member `i`).
     pub stack: StackId,
     /// The member stack's innermost `depth` frames.
     pub suffix: Box<[FrameId]>,
-    /// `suffix_hash(depth, suffix)`.
-    pub hash: u64,
+    /// Dense bucket slot of `(depth, suffix)` in the generation's
+    /// [`BucketLayout`]; `None` until resolved (or when the key is not in
+    /// the layout — e.g. a live depth change racing a rebuild — which means
+    /// no entry can be bucketed under it in the current table).
+    pub slot: Option<u32>,
 }
 
 /// Precomputed per-signature cover keys: everything the exact-cover search
@@ -50,11 +62,11 @@ pub struct CoverKeys {
 }
 
 impl CoverKeys {
-    /// Computes the member bucket keys for `sig` at `depth`. The single
-    /// source of the suffix/hash derivation: the index precomputes through
-    /// this at build time, and the avoidance engine calls it for the rare
-    /// live-depth-change fallback — both must agree on shard and
-    /// fingerprint slots or the occupancy precheck would be unsound.
+    /// Computes the member bucket keys for `sig` at `depth`, with slots
+    /// unresolved. The single source of the suffix derivation: the index
+    /// precomputes through this at build time, and the avoidance engine
+    /// calls it for the rare live-depth-change fallback — both must agree
+    /// on the key layout or the occupancy precheck would be unsound.
     pub fn compute(sig: &Signature, depth: u8, stacks: &StackTable) -> Self {
         Self {
             depth,
@@ -64,25 +76,209 @@ impl CoverKeys {
                 .map(|&stack| {
                     let frames = stacks.resolve(stack);
                     let suffix: Box<[FrameId]> = suffix_of(&frames, depth as usize).into();
-                    let hash = suffix_hash(depth, &suffix);
                     MemberKey {
                         stack,
                         suffix,
-                        hash,
+                        slot: None,
                     }
                 })
                 .collect(),
         }
     }
+
+    /// Fills each member's dense bucket slot from `layout`.
+    pub fn resolve(&mut self, layout: &BucketLayout) {
+        for key in &mut self.members {
+            key.slot = layout.slot_of(self.depth, &key.suffix);
+        }
+    }
 }
 
-/// A signature member carrying a given suffix: the signature, the member's
-/// position within `signature.stacks`, and the signature's shared
-/// [`CoverKeys`].
-type Candidate = (Arc<Signature>, usize, Arc<CoverKeys>);
+/// One depth layer of a [`BucketLayout`]: `suffix → dense slot`.
+type SlotMap = HashMap<Box<[FrameId]>, u32>;
+
+/// Dense bucket-slot directory of one history generation: every distinct
+/// `(depth, suffix)` key across the enabled signatures' members gets one
+/// slot in `[0, len)`, assigned in deterministic history-snapshot × member
+/// order. The avoidance engine sizes its versioned bucket array from
+/// [`BucketLayout::len`] and routes every bucket insert/remove/probe
+/// through [`BucketLayout::slot_of`].
+#[derive(Debug, Default)]
+pub struct BucketLayout {
+    /// `(depth, suffix → slot)`, ascending by depth (borrowed lookups).
+    by_depth: Vec<(u8, SlotMap)>,
+    len: u32,
+}
+
+impl BucketLayout {
+    /// Builds the layout for the current contents of `history`.
+    pub fn build(history: &History, stacks: &StackTable) -> Self {
+        let snapshot = history.snapshot();
+        let mut layout = Self::default();
+        for sig in snapshot.iter() {
+            if sig.is_disabled() {
+                continue;
+            }
+            let depth = sig.depth();
+            for &stack in &sig.stacks {
+                let frames = stacks.resolve(stack);
+                let suffix = suffix_of(&frames, depth as usize);
+                let map = match layout.by_depth.iter_mut().find(|(d, _)| *d == depth) {
+                    Some((_, map)) => map,
+                    None => {
+                        layout.by_depth.push((depth, HashMap::new()));
+                        &mut layout.by_depth.last_mut().expect("just pushed").1
+                    }
+                };
+                if !map.contains_key(suffix) {
+                    map.insert(suffix.into(), layout.len);
+                    layout.len += 1;
+                }
+            }
+        }
+        layout.by_depth.sort_unstable_by_key(|&(d, _)| d);
+        layout
+    }
+
+    /// Number of distinct `(depth, suffix)` keys (== bucket slots).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the layout has no keys (empty or all-disabled history).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The dense slot of `(depth, suffix)`, if that key is in the layout.
+    pub fn slot_of(&self, depth: u8, suffix: &[FrameId]) -> Option<u32> {
+        self.by_depth
+            .iter()
+            .find(|(d, _)| *d == depth)
+            .and_then(|(_, map)| map.get(suffix).copied())
+    }
+
+    /// Distinct matching depths present, ascending.
+    pub fn depths(&self) -> impl Iterator<Item = u8> + '_ {
+        self.by_depth.iter().map(|&(d, _)| d)
+    }
+
+    /// Whether any depth's suffix of `stack` is a member key — i.e. whether
+    /// an `Allowed` entry with these frames could ever participate in an
+    /// exact cover under this layout (the request fast path's relevance
+    /// probe).
+    pub fn is_relevant(&self, stack: &[FrameId]) -> bool {
+        self.by_depth
+            .iter()
+            .any(|(d, map)| map.contains_key(suffix_of(stack, *d as usize)))
+    }
+}
+
+/// A signature member carrying a given suffix.
+#[derive(Debug)]
+pub struct Candidate {
+    /// The signature.
+    pub sig: Arc<Signature>,
+    /// The matching member's position within `signature.stacks`.
+    pub member: usize,
+    /// The signature's shared cover keys (slots resolved).
+    pub keys: Arc<CoverKeys>,
+}
+
+/// All candidates sharing one `(depth, suffix)` key, with the occupancy
+/// precheck's inputs laid out flat: a hot suffix can carry dozens of
+/// candidates, the precheck runs for every one on every request hitting
+/// the suffix, and in the common all-refuted case the scan must not chase
+/// a single per-candidate `Arc` — just contiguous slot indices plus one
+/// fingerprint load each.
+#[derive(Debug, Default)]
+pub struct CandidateSet {
+    candidates: Vec<Candidate>,
+    /// Concatenation of every candidate's *other-member* bucket slots.
+    others_flat: Vec<u32>,
+    /// `candidates.len() + 1` offsets into `others_flat` (candidate `i`
+    /// owns `others_flat[spans[i]..spans[i + 1]]`).
+    spans: Vec<u32>,
+    /// The set's own `(depth, suffix)` bucket slot — the bucket the
+    /// *requester's* entries land in.
+    self_slot: u32,
+    /// Whether some candidate's other-member slots include `self_slot`
+    /// (a signature pairing two stacks with the same suffix). Such a
+    /// candidate can cover out of the requester's own bucket, so the O(1)
+    /// only-own-bucket-non-empty reject does not apply.
+    self_paired: bool,
+    /// Whether some candidate has *no* other members (a single-member
+    /// signature): it is instantiated by the anchor request alone, so no
+    /// emptiness argument can ever refute the set wholesale.
+    lone_member: bool,
+}
+
+impl CandidateSet {
+    fn new(self_slot: u32) -> Self {
+        Self {
+            candidates: Vec::new(),
+            others_flat: Vec::new(),
+            spans: vec![0],
+            self_slot,
+            self_paired: false,
+            lone_member: false,
+        }
+    }
+
+    fn push(&mut self, candidate: Candidate, other_slots: impl Iterator<Item = u32>) {
+        let start = self.others_flat.len();
+        self.others_flat.extend(other_slots);
+        self.self_paired |= self.others_flat[start..].contains(&self.self_slot);
+        self.lone_member |= self.others_flat.len() == start;
+        self.spans.push(self.others_flat.len() as u32);
+        self.candidates.push(candidate);
+    }
+
+    /// The candidates, in history-snapshot × member order.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Candidate `i`'s other-member bucket slots (the occupancy precheck
+    /// inputs).
+    pub fn other_slots(&self, i: usize) -> &[u32] {
+        &self.others_flat[self.spans[i] as usize..self.spans[i + 1] as usize]
+    }
+
+    /// Every candidate's other-member slots, concatenated. Every candidate
+    /// contributes at least one slot (signatures have ≥ 2 members), so if
+    /// *all* of these buckets are provably empty, every candidate in the
+    /// set is refuted at once — the whole-set fast reject.
+    pub fn all_other_slots(&self) -> &[u32] {
+        &self.others_flat
+    }
+
+    /// The set's own `(depth, suffix)` bucket slot. Together with
+    /// [`CandidateSet::self_paired`] this enables an O(1) whole-set
+    /// reject: if the table's only non-empty bucket is this one and no
+    /// candidate is self-paired, every candidate has an empty other
+    /// bucket.
+    pub fn self_slot(&self) -> u32 {
+        self.self_slot
+    }
+
+    /// Whether some candidate's other-member slots include
+    /// [`CandidateSet::self_slot`] (see there).
+    pub fn self_paired(&self) -> bool {
+        self.self_paired
+    }
+
+    /// Whether some candidate is a single-member signature (see the
+    /// `lone_member` field): if so, *no* whole-set emptiness reject is
+    /// valid — the anchor request instantiates such a candidate by
+    /// itself.
+    pub fn has_lone_member(&self) -> bool {
+        self.lone_member
+    }
+}
 
 /// One depth layer of the index: `suffix → candidates`.
-type SuffixMap = HashMap<Box<[FrameId]>, Vec<Candidate>>;
+type SuffixMap = HashMap<Box<[FrameId]>, CandidateSet>;
 
 /// Immutable index over one history generation.
 ///
@@ -96,12 +292,16 @@ pub struct MatchIndex {
     /// within a bucket follows history-snapshot order — the cover search
     /// (and hence yield causes) must be deterministic.
     by_depth: Vec<(u8, SuffixMap)>,
+    /// Dense bucket-slot directory for this generation; every candidate's
+    /// [`CoverKeys`] members carry slots resolved against it.
+    layout: Arc<BucketLayout>,
 }
 
 impl MatchIndex {
     /// Builds an index over the current contents of `history`.
     pub fn build(history: &History, stacks: &StackTable) -> Self {
         let generation = history.generation();
+        let layout = Arc::new(BucketLayout::build(history, stacks));
         let snapshot = history.snapshot();
         let mut by_depth: Vec<(u8, SuffixMap)> = Vec::new();
         for sig in snapshot.iter() {
@@ -109,7 +309,9 @@ impl MatchIndex {
                 continue;
             }
             let depth = sig.depth();
-            let keys = Arc::new(CoverKeys::compute(sig, depth, stacks));
+            let mut keys = CoverKeys::compute(sig, depth, stacks);
+            keys.resolve(&layout);
+            let keys = Arc::new(keys);
             let map = match by_depth.iter_mut().find(|(d, _)| *d == depth) {
                 Some((_, map)) => map,
                 None => {
@@ -118,23 +320,42 @@ impl MatchIndex {
                 }
             };
             for (member, key) in keys.members.iter().enumerate() {
-                map.entry(key.suffix.clone()).or_default().push((
-                    Arc::clone(sig),
-                    member,
-                    Arc::clone(&keys),
-                ));
+                let others = keys
+                    .members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != member)
+                    .map(|(_, mk)| mk.slot.expect("key resolved against own layout"));
+                let self_slot = key.slot.expect("key resolved against own layout");
+                map.entry(key.suffix.clone())
+                    .or_insert_with(|| CandidateSet::new(self_slot))
+                    .push(
+                        Candidate {
+                            sig: Arc::clone(sig),
+                            member,
+                            keys: Arc::clone(&keys),
+                        },
+                        others,
+                    );
             }
         }
         by_depth.sort_unstable_by_key(|&(d, _)| d);
         Self {
             generation,
             by_depth,
+            layout,
         }
     }
 
     /// Generation of the history this index reflects.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The dense bucket-slot directory this index's cover keys resolve
+    /// against.
+    pub fn layout(&self) -> &Arc<BucketLayout> {
+        &self.layout
     }
 
     /// Whether the index must be rebuilt for `history`.
@@ -147,19 +368,24 @@ impl MatchIndex {
         self.by_depth.iter().map(|&(d, _)| d)
     }
 
-    /// All `(signature, member_position, cover_keys)` triples whose member
-    /// stack matches `stack` at the signature's indexed depth. Allocation-
-    /// free: the probe suffix is borrowed for the bucket lookup.
-    pub fn candidates<'a>(
+    /// All [`Candidate`]s whose member stack matches `stack` at the
+    /// signature's indexed depth. Allocation-free: the probe suffix is
+    /// borrowed for the bucket lookup.
+    pub fn candidates<'a>(&'a self, stack: &'a [FrameId]) -> impl Iterator<Item = &'a Candidate> {
+        self.candidate_sets(stack)
+            .flat_map(|set| set.candidates().iter())
+    }
+
+    /// The per-`(depth, suffix)` [`CandidateSet`]s matching `stack` — at
+    /// most one per depth layer. The avoidance engine iterates these so its
+    /// occupancy precheck runs over each set's flat slot arrays.
+    pub fn candidate_sets<'a>(
         &'a self,
         stack: &'a [FrameId],
-    ) -> impl Iterator<Item = (&'a Arc<Signature>, usize, &'a Arc<CoverKeys>)> + 'a {
-        self.by_depth.iter().flat_map(move |(d, map)| {
-            map.get(suffix_of(stack, *d as usize))
-                .into_iter()
-                .flatten()
-                .map(|(sig, member, keys)| (sig, *member, keys))
-        })
+    ) -> impl Iterator<Item = &'a CandidateSet> {
+        self.by_depth
+            .iter()
+            .filter_map(move |(d, map)| map.get(suffix_of(stack, *d as usize)))
     }
 
     /// Whether any signature member matches `stack` at its indexed depth
@@ -170,9 +396,10 @@ impl MatchIndex {
             .any(|(d, map)| map.contains_key(suffix_of(stack, *d as usize)))
     }
 
-    /// Number of distinct `(depth, suffix)` keys (for resource accounting).
+    /// Number of distinct `(depth, suffix)` keys — the generation's bucket
+    /// count (used for adaptive table/occupancy sizing).
     pub fn key_count(&self) -> usize {
-        self.by_depth.iter().map(|(_, map)| map.len()).sum()
+        self.layout.len()
     }
 }
 
@@ -229,10 +456,10 @@ mod tests {
         let probe = env.frames_of(&[9, 9, 5, 6]);
         let hits: Vec<_> = idx.candidates(&probe).collect();
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].0.id, sig.id);
+        assert_eq!(hits[0].sig.id, sig.id);
         assert!(idx.matches_any(&probe));
         // The matched member is the one holding the [_, 5, 6] stack.
-        let member_stack = env.stacks.resolve(sig.stacks[hits[0].1]);
+        let member_stack = env.stacks.resolve(sig.stacks[hits[0].member]);
         assert_eq!(suffix_of(&member_stack, 2), &env.frames_of(&[5, 6])[..]);
 
         // A stack with no matching suffix yields nothing.
@@ -251,15 +478,45 @@ mod tests {
             .unwrap();
         let idx = MatchIndex::build(&env.history, &env.stacks);
         let probe = env.frames_of(&[9, 9, 5, 6]);
-        let (_, member, keys) = idx.candidates(&probe).next().unwrap();
+        let c = idx.candidates(&probe).next().unwrap();
+        let (member, keys) = (c.member, &c.keys);
         assert_eq!(keys.depth, 2);
         assert_eq!(keys.members.len(), 2);
         assert_eq!(keys.members[0].stack, s1);
         assert_eq!(keys.members[1].stack, s2);
         assert_eq!(&*keys.members[member].suffix, &env.frames_of(&[5, 6])[..]);
+        let layout = idx.layout();
         for key in &keys.members {
-            assert_eq!(key.hash, suffix_hash(2, &key.suffix));
+            assert_eq!(key.slot, layout.slot_of(2, &key.suffix));
+            assert!(key.slot.is_some());
         }
+    }
+
+    #[test]
+    fn layout_assigns_dense_deduplicated_slots() {
+        let env = Env::new();
+        let s1 = env.stack(&[1, 5, 6]);
+        let s2 = env.stack(&[2, 5, 7]);
+        let s3 = env.stack(&[9, 5, 6]); // depth-2 suffix [5, 6] — same key as s1
+        env.history
+            .add(CycleKind::Deadlock, vec![s1, s2], 2)
+            .unwrap();
+        env.history
+            .add(CycleKind::Deadlock, vec![s3, s2], 2)
+            .unwrap();
+        let layout = BucketLayout::build(&env.history, &env.stacks);
+        // Keys: [5,6] and [5,7] at depth 2 — s3's suffix collapses into
+        // s1's slot.
+        assert_eq!(layout.len(), 2);
+        let k56 = layout.slot_of(2, &env.frames_of(&[5, 6])).unwrap();
+        let k57 = layout.slot_of(2, &env.frames_of(&[5, 7])).unwrap();
+        assert_ne!(k56, k57);
+        assert!((k56 as usize) < layout.len() && (k57 as usize) < layout.len());
+        assert_eq!(layout.slot_of(2, &env.frames_of(&[5, 9])), None);
+        assert_eq!(layout.slot_of(3, &env.frames_of(&[5, 6])), None);
+        assert_eq!(layout.depths().collect::<Vec<_>>(), vec![2]);
+        assert!(layout.is_relevant(&env.frames_of(&[8, 8, 5, 6])));
+        assert!(!layout.is_relevant(&env.frames_of(&[8, 8, 6, 5])));
     }
 
     #[test]
@@ -308,14 +565,14 @@ mod tests {
         // Anything ending in 6 matches `shallow` at depth 1; only the exact
         // 4-suffix matches `deep`.
         let probe = env.frames_of(&[9, 1, 2, 3, 6]);
-        let mut sig_ids: Vec<_> = idx.candidates(&probe).map(|(s, _, _)| s.id).collect();
+        let mut sig_ids: Vec<_> = idx.candidates(&probe).map(|c| c.sig.id).collect();
         sig_ids.sort_unstable();
         sig_ids.dedup();
         assert!(sig_ids.contains(&shallow.id));
         assert!(sig_ids.contains(&deep.id));
 
         let probe2 = env.frames_of(&[9, 9, 9, 6]);
-        let ids2: Vec<_> = idx.candidates(&probe2).map(|(s, _, _)| s.id).collect();
+        let ids2: Vec<_> = idx.candidates(&probe2).map(|c| c.sig.id).collect();
         assert!(ids2.contains(&shallow.id));
         assert!(!ids2.contains(&deep.id));
     }

@@ -60,27 +60,6 @@ pub fn suffix_matches(a: &[FrameId], b: &[FrameId], depth: usize) -> bool {
     suffix_of(a, depth) == suffix_of(b, depth)
 }
 
-/// Deterministic 64-bit hash of a `(depth, suffix)` bucket key.
-///
-/// The sharded avoidance engine keys its suffix-bucket shards and its
-/// occupancy fingerprints by this hash, and [`crate::MatchIndex`]
-/// precomputes it per signature member so the request path can probe
-/// occupancy without resolving or re-hashing member stacks. It must be
-/// stable across threads (no per-process random state): a bucket insert and
-/// the precheck that reads its fingerprint must agree on the slot.
-#[inline]
-pub fn suffix_hash(depth: u8, suffix: &[FrameId]) -> u64 {
-    // FxHash-style multiply-rotate fold: fast, and good enough dispersion
-    // for power-of-two masking (frame ids are small dense integers).
-    const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
-    const K: u64 = 0x517C_C1B7_2722_0A95;
-    let mut h = (u64::from(depth)).wrapping_add(SEED).wrapping_mul(K);
-    for f in suffix {
-        h = (h.rotate_left(5) ^ u64::from(f.0)).wrapping_mul(K);
-    }
-    h
-}
-
 #[derive(Default)]
 struct Inner {
     stacks: Vec<CallStack>,
@@ -222,21 +201,6 @@ mod tests {
         // At depth 4 the suffixes have different lengths: no match.
         assert!(!suffix_matches(&short, &long, 4));
         assert!(suffix_matches(&short, &long, 2));
-    }
-
-    #[test]
-    fn suffix_hash_distinguishes_depth_and_frames() {
-        let ft = FrameTable::new();
-        let a = frames(&ft, &[1, 2, 3]);
-        let b = frames(&ft, &[1, 2, 4]);
-        assert_eq!(suffix_hash(2, &a), suffix_hash(2, &a));
-        assert_ne!(suffix_hash(2, &a), suffix_hash(3, &a));
-        assert_ne!(suffix_hash(2, &a), suffix_hash(2, &b));
-        // Equal suffixes hash equal regardless of how they were produced.
-        assert_eq!(
-            suffix_hash(2, suffix_of(&a, 2)),
-            suffix_hash(2, &frames(&ft, &[2, 3]))
-        );
     }
 
     #[test]
