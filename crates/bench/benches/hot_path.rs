@@ -45,7 +45,9 @@
 //! shortened single-rep run (which leaves the committed baseline
 //! untouched) and `--check-baseline` (the CI smoke setting) to fail with a
 //! non-zero exit if any row's speedup regressed more than 30% against the
-//! committed baseline.
+//! committed baseline — or if the proactive-prediction workload loses
+//! first-run immunity (see `dimmunix_workloads::prediction`), so a
+//! predictor regression fails CI alongside a hot-path one.
 
 use dimmunix_bench::microbench::{build_pool, MicroParams, PoolPath};
 use dimmunix_bench::report::{banner, table};
@@ -469,6 +471,24 @@ fn main() {
                 }
             }
             Err(e) => println!("no baseline to check against ({e})"),
+        }
+
+        // Prediction smoke row: first-run immunity must keep working. The
+        // workload deadlocks on a fresh empty-history runtime with
+        // prediction off and must complete — with ≥ 1 predicted vaccine
+        // archived and file-round-tripped — on the identical seed with
+        // prediction on. (Hot-path cost of prediction is already covered
+        // by the rows above: the predictor is monitor-side only.)
+        match dimmunix_workloads::prediction::demonstrate(0..2048) {
+            Some(d) => println!(
+                "prediction: seed {} — baseline deadlocked, predicted run completed \
+                 ({} vaccine(s), {} after file round trip) → ok",
+                d.seed, d.predicted_signatures, d.saved_predicted
+            ),
+            None => {
+                println!("\nFAIL: prediction lost first-run immunity (no demonstrating seed)");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -8,7 +8,7 @@ use dimmunix_bench::microbench::Engine;
 use dimmunix_bench::report::{arg_u64, banner, pct, scale_from_args, table, Scale};
 use dimmunix_bench::rubis::MacroParams;
 use dimmunix_bench::{jdbcbench, rubis, siggen};
-use dimmunix_core::{Config, Runtime};
+use dimmunix_core::Runtime;
 use std::time::Duration;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
     for sigs in [32_u64, 64, 128] {
         // RUBiS-like (JBoss): low lock rate, think-time dominated.
         let base = best_rps(reps, || rubis::run_rubis(&params, &Engine::Baseline));
-        let rt = Runtime::start(Config::default()).unwrap();
+        let rt = Runtime::start(monitored_config()).unwrap();
         siggen::synthesize_history(&rt, &rubis::call_paths(), sigs as usize, 2, 11, 4);
         let dlk = best_rps(reps, || {
             rubis::run_rubis(&params, &Engine::Dimmunix(rt.clone()))
@@ -53,7 +53,7 @@ fn main() {
         let base_j = best_rps(reps, || {
             jdbcbench::run_jdbcbench(&jdbc_params, &Engine::Baseline)
         });
-        let rt = Runtime::start(Config::default()).unwrap();
+        let rt = Runtime::start(monitored_config()).unwrap();
         siggen::synthesize_history(&rt, &jdbcbench::call_paths(), sigs as usize, 2, 13, 4);
         let dlk_j = best_rps(reps, || {
             jdbcbench::run_jdbcbench(&jdbc_params, &Engine::Dimmunix(rt.clone()))
@@ -97,6 +97,7 @@ fn main() {
             "Overflow events",
             "Hot bucket peak",
             "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
+            "Prediction [edges cycles sigs guard-suppr]",
         ],
         &lag_rows,
     );
@@ -105,6 +106,12 @@ fn main() {
          (paper maxima: 2.6% JBoss/RUBiS, 7.17% MySQL/JDBCBench)."
     );
 }
+
+/// The figure's Dimmunix configuration: defaults plus the proactive
+/// predictor (the demonstration workload's shared configuration), so the
+/// lag table also shows the prediction pipeline's telemetry (all
+/// monitor-side; the overhead columns absorb its cost).
+use dimmunix_workloads::prediction::prediction_config as monitored_config;
 
 fn best_rps(reps: u64, mut run: impl FnMut() -> rubis::MacroReport) -> f64 {
     (0..reps)
@@ -123,5 +130,12 @@ fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
         s.lane_overflows.to_string(),
         s.hot_bucket_peak.to_string(),
         dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
+        format!(
+            "{} {} {} {}",
+            s.prediction_edges,
+            s.cycles_predicted,
+            s.predicted_signatures,
+            s.prediction_guard_suppressed
+        ),
     ]
 }

@@ -8,7 +8,8 @@
 use dimmunix_bench::microbench::{run_micro, Engine, Flavor, MicroParams};
 use dimmunix_bench::report::{arg_u64, banner, pct, scale_from_args, table, Scale};
 use dimmunix_bench::siggen;
-use dimmunix_core::{Config, Runtime};
+use dimmunix_core::Runtime;
+use dimmunix_workloads::prediction::prediction_config;
 use std::time::Duration;
 
 fn main() {
@@ -53,7 +54,10 @@ fn main() {
                 ..MicroParams::default()
             };
             let base = run_micro(&params, &Engine::Baseline);
-            let rt = Runtime::start(Config::default()).unwrap();
+            // Defaults + the proactive predictor (shared with the
+            // demonstration workload), so the lag table carries the
+            // prediction telemetry column.
+            let rt = Runtime::start(prediction_config()).unwrap();
             let pool = dimmunix_bench::microbench::build_pool(&params);
             let paths = siggen::paths_for_flavor(&rt, &pool, flavor);
             siggen::synthesize_history(&rt, &paths, 64, 2, 5, 4);
@@ -66,6 +70,13 @@ fn main() {
                 stats.lane_overflows.to_string(),
                 stats.hot_bucket_peak.to_string(),
                 dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
+                format!(
+                    "{} {} {} {}",
+                    stats.prediction_edges,
+                    stats.cycles_predicted,
+                    stats.predicted_signatures,
+                    stats.prediction_guard_suppressed
+                ),
             ]);
             rt.shutdown();
             rows.push(vec![
@@ -96,6 +107,7 @@ fn main() {
                 "Overflow events",
                 "Hot bucket peak",
                 "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
+                "Prediction [edges cycles sigs guard-suppr]",
             ],
             &lag_rows,
         );

@@ -1,0 +1,106 @@
+//! First-run immunity demonstration: the proactive predictor vaccinates a
+//! run **before its first deadlock**.
+//!
+//! Hunts a schedule seed for which the two-lock-inversion workload
+//! deadlocks on a fresh, history-less runtime with prediction disabled,
+//! then replays the *identical* seed on an equally fresh runtime with the
+//! lock-order-graph predictor enabled: the benign early iterations teach
+//! the order graph, the monitor synthesizes a `predicted`-provenance
+//! signature mid-run, and the deadly overlap is yielded away — the run
+//! completes without ever having suffered the deadlock. The history file
+//! is saved and reloaded to show the vaccine ships.
+//!
+//! Also runs the gate-locked control: the same order cycle behind one
+//! shared gate lock must be suppressed (no false vaccine, no yields).
+//!
+//! Exits non-zero if any half of the demonstration fails (used as a CI
+//! smoke via the `hot_path` bench's `--check-baseline` step as well).
+
+use dimmunix_bench::report::{banner, table};
+use dimmunix_core::{Config, Runtime};
+use dimmunix_workloads::prediction::{self, GATED, WORKLOAD};
+use dimmunix_workloads::run_once;
+
+fn main() {
+    banner("predict_demo: first-run immunity from lock-order-graph prediction");
+
+    let Some(d) = prediction::demonstrate(0..4096) else {
+        println!("FAIL: no seed demonstrates first-run immunity");
+        std::process::exit(1);
+    };
+
+    table(
+        &[
+            "Configuration",
+            "Outcome",
+            "Yields",
+            "Deadlocks detected",
+            "Predicted sigs",
+        ],
+        &[
+            vec![
+                "prediction off, empty history".to_string(),
+                format!("{:?}", d.baseline.outcome),
+                d.baseline.yields.to_string(),
+                d.baseline.deadlocks_detected.to_string(),
+                "0".to_string(),
+            ],
+            vec![
+                "prediction on, first run".to_string(),
+                format!("{:?}", d.immunized.outcome),
+                d.immunized.yields.to_string(),
+                d.immunized.deadlocks_detected.to_string(),
+                d.predicted_signatures.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nseed {}: baseline deadlocked; the identical schedule completed on first \
+         execution with prediction enabled ({} predicted signature(s) archived \
+         mid-run, {} surviving the history-file round trip).",
+        d.seed, d.predicted_signatures, d.saved_predicted
+    );
+
+    // Gate-locked control: the cycle exists in the order graph but can
+    // never manifest; the guard analysis must keep the history empty.
+    let rt = Runtime::new(prediction::prediction_config()).expect("runtime");
+    let control = run_once(&rt, &GATED, d.seed);
+    let stats = rt.stats();
+    println!(
+        "\ngate-locked control (seed {}): outcome {:?}, yields {}, signatures {}, \
+         cycles suppressed by guard analysis: {}",
+        d.seed,
+        control.outcome,
+        control.yields,
+        rt.history().len(),
+        stats.prediction_guard_suppressed,
+    );
+    let control_ok = control.completed()
+        && control.yields == 0
+        && rt.history().is_empty()
+        && stats.prediction_guard_suppressed >= 1;
+    if !control_ok {
+        println!("FAIL: gate-locked control produced a false vaccine or spurious yields");
+        std::process::exit(1);
+    }
+
+    // Belt and braces: the baseline must also deadlock when the engine is
+    // instrumented but yields are ignored (the paper's §7.1.1 control) —
+    // prediction alone is what saves the run, not instrumentation noise.
+    let rt_ignore = Runtime::new(Config {
+        enforce_yields: false,
+        ..prediction::prediction_config()
+    })
+    .expect("runtime");
+    let ignored = run_once(&rt_ignore, &WORKLOAD, d.seed);
+    println!(
+        "\nyields-ignored control (seed {}): outcome {:?} (expected a deadlock)",
+        d.seed, ignored.outcome
+    );
+    if ignored.completed() {
+        println!("FAIL: yields-ignored control did not deadlock — seed no longer deadly");
+        std::process::exit(1);
+    }
+
+    println!("\nPASS: first-run immunity demonstrated, gate-locked control suppressed.");
+}

@@ -1063,12 +1063,20 @@ impl AvoidanceCore {
         };
         let depths: Vec<u8> = layout.depths().collect();
         // Adaptive occupancy sizing: one counter per bucket key makes the
-        // fingerprints collision-free; the config knob stays as an
-        // override for bounding memory on huge histories.
-        let occupancy_slots = self
-            .config
-            .occupancy_slots
-            .unwrap_or_else(|| layout.len().max(1));
+        // fingerprints collision-free. An override below the key count
+        // would silently reintroduce aliasing (spurious cover searches,
+        // and the O(1) whole-set reject turns itself off), so it is
+        // clamped up to the key count and the correction is surfaced in
+        // the `occupancy_clamps` gauge.
+        let occupancy_floor = layout.len().max(1);
+        let occupancy_slots = match self.config.occupancy_slots {
+            Some(n) if n < occupancy_floor => {
+                Stats::bump(&self.stats.occupancy_clamps);
+                occupancy_floor
+            }
+            Some(n) => n,
+            None => occupancy_floor,
+        };
         let view = Arc::new(MatchView {
             generation: gen,
             depths,

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use dimmunix_predict::PredictionConfig;
 use dimmunix_signature::CalibrationConfig;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -81,6 +82,13 @@ pub struct Config {
     /// Online matching-depth calibration (§5.5); `None` keeps the fixed
     /// [`Config::default_depth`].
     pub calibration: Option<CalibrationConfig>,
+    /// Proactive deadlock prediction: when set, the monitor runs a
+    /// lock-order-graph analysis over the drained event stream and
+    /// synthesizes `predicted`-provenance signatures into the history
+    /// *before* any cycle manifests (first-run immunity). Entirely
+    /// monitor-side — the request fast path is untouched. `None` (default)
+    /// keeps the paper's suffer-first behavior.
+    pub prediction: Option<PredictionConfig>,
     /// Where the persistent history lives. `None` keeps it in memory only.
     pub history_path: Option<PathBuf>,
     /// Maximum concurrently registered threads (bounds the Peterson slots
@@ -110,9 +118,13 @@ pub struct Config {
     /// (default) sizes them adaptively at rebuild time from the match
     /// index's `key_count()` — at least one counter per distinct
     /// `(depth, suffix)` bucket key, which makes the fingerprints
-    /// collision-free and the guard-free cover precheck exact. Set to
-    /// bound memory on huge histories (collisions only cost spurious
-    /// cover searches, never soundness). 4 bytes per slot.
+    /// collision-free and the guard-free cover precheck exact. An
+    /// override *below* the key count would silently reintroduce
+    /// fingerprint aliasing (sound, but every aliased read costs a
+    /// spurious cover search and disables the O(1) whole-set reject), so
+    /// the rebuild **auto-clamps it up to the key count** and records the
+    /// correction in [`crate::stats::Stats::occupancy_clamps`]; only
+    /// values at or above the key count take effect. 4 bytes per slot.
     pub occupancy_slots: Option<usize>,
     /// Structural false-positive accounting for the Figure 9 experiment:
     /// when set to the program's full stack depth `D`, every yield is
@@ -133,6 +145,7 @@ impl Default for Config {
             max_yield_duration: Some(Duration::from_millis(200)),
             abort_disable_threshold: None,
             calibration: None,
+            prediction: None,
             history_path: None,
             max_threads: 4096,
             event_lane_capacity: 1024,
@@ -169,6 +182,7 @@ mod tests {
         assert_eq!(c.immunity, Immunity::Weak);
         assert_eq!(c.max_yield_duration, Some(Duration::from_millis(200)));
         assert!(c.calibration.is_none());
+        assert!(c.prediction.is_none(), "prediction is opt-in");
         assert!(c.enforce_yields);
     }
 

@@ -47,8 +47,11 @@
 //! * [`lanes::EventLanes`] — per-thread SPSC event lanes (with MPSC
 //!   overflow) carrying hook events to the monitor.
 //! * [`monitor::Monitor`] — cycle detection, signature archival, starvation
-//!   breaking, false-positive probes, calibration, and the steady-state
-//!   match-view rebuild/publication.
+//!   breaking, false-positive probes, calibration, the steady-state
+//!   match-view rebuild/publication, and (when [`Config::prediction`] is
+//!   set) the proactive lock-order-graph deadlock predictor that
+//!   synthesizes `predicted`-provenance vaccines before the first
+//!   manifestation.
 //! * [`reference::ReferenceCore`] — the preserved pre-refactor single-lock
 //!   engine, used by the differential tests and the `hot_path` bench.
 //! * [`context`] + [`frame!`] — the per-thread call-flow frames that give
@@ -81,8 +84,9 @@ pub use sync::{ImmunizedMutex, ImmunizedMutexGuard, ReentrantGuard, ReentrantLoc
 
 // Re-export the identifier types and signature machinery that appear in our
 // public API, so downstream crates need only depend on `dimmunix-core`.
+pub use dimmunix_predict::{PredictionConfig, PredictorStats};
 pub use dimmunix_rag::{LockId, ThreadId, YieldCause};
 pub use dimmunix_signature::{
-    CalibrationConfig, CycleKind, Frame, FrameId, FrameTable, History, HistoryError, SigId,
-    Signature, StackId, StackTable,
+    CalibrationConfig, CycleKind, Frame, FrameId, FrameTable, History, HistoryError, Provenance,
+    SigId, Signature, StackId, StackTable,
 };

@@ -7,6 +7,16 @@
 //! immunity), and runs the retrospective false-positive analysis that feeds
 //! matching-depth calibration (§5.5).
 //!
+//! When [`Config::prediction`] is set, the monitor additionally feeds the
+//! drained acquisitions/releases into a lock-order-graph
+//! [`Predictor`] and, after each drain, runs one budgeted prediction pass:
+//! feasible order cycles (distinct threads, disjoint gate-lock guard sets)
+//! are synthesized into the history as `predicted`-provenance signatures —
+//! vaccines archived *before* the deadlock ever fires. They flow through
+//! the exact same archival path as detected cycles, so the next match-view
+//! republish picks them up and the avoidance engine yields threads away
+//! from the pattern on its first approach.
+//!
 //! The monitor also owns the steady-state rebuild of the avoidance match
 //! view: each pass starts by asking the core to republish if the history
 //! generation moved, so application threads never rebuild inline on the
@@ -29,10 +39,11 @@ use crate::config::{Config, Immunity};
 use crate::event::{Event, YieldInfo};
 use crate::lanes::EventLanes;
 use crate::stats::Stats;
+use dimmunix_predict::Predictor;
 use dimmunix_rag::{LockId, Rag, ThreadId, YieldCause};
 use dimmunix_signature::{
     suffix_matches, CalibrationUpdate, CallStack, CycleKind, FrameTable, History, HistoryError,
-    Signature, StackId, StackTable,
+    Provenance, Signature, StackId, StackTable,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -147,6 +158,12 @@ impl FpProbe {
 pub struct Monitor {
     rag: Rag,
     probes: Vec<FpProbe>,
+    /// Lock-order-graph deadlock predictor (`Config::prediction`).
+    predictor: Option<Predictor>,
+    /// Predicted signatures synthesized so far, counted against
+    /// `PredictionConfig::max_predicted`. Seeded from the loaded history
+    /// so restarts do not re-earn the budget.
+    predicted_budget_used: usize,
     config: Config,
     history: Arc<History>,
     frames: Arc<FrameTable>,
@@ -172,9 +189,21 @@ impl Monitor {
         stats: Arc<Stats>,
         hooks: Arc<Hooks>,
     ) -> Self {
+        let predictor = config.prediction.clone().map(Predictor::new);
+        let predicted_budget_used = if predictor.is_some() {
+            history
+                .snapshot()
+                .iter()
+                .filter(|s| s.provenance == Provenance::Predicted)
+                .count()
+        } else {
+            0
+        };
         Self {
             rag: Rag::new(),
             probes: Vec::new(),
+            predictor,
+            predicted_budget_used,
             config,
             history,
             frames,
@@ -219,6 +248,11 @@ impl Monitor {
         self.skew_tick = self.skew_tick.wrapping_add(1);
         self.drain_events();
         self.detect_deadlocks();
+        // Prediction runs after detection so that when a pattern both
+        // fired and was predictable within one pass, the archived
+        // signature carries the `detected` provenance and the prediction
+        // deduplicates against it (not the other way around).
+        self.predict();
         self.detect_starvation(core, waker);
         self.resolve_probes();
         if self.dirty {
@@ -261,10 +295,16 @@ impl Monitor {
             }
             Event::Acquired { t, l, stack } => {
                 self.rag.on_acquired(t, l, stack);
+                if let Some(p) = &mut self.predictor {
+                    p.on_acquired(t, l, stack);
+                }
                 self.feed_probes(t, l, true);
             }
             Event::Release { t, l } => {
                 self.feed_probes(t, l, false);
+                if let Some(p) = &mut self.predictor {
+                    p.on_release(t, l);
+                }
                 self.rag.on_release(t, l);
             }
             Event::Cancel { t, l } => {
@@ -277,7 +317,53 @@ impl Monitor {
                     }
                 }
             }
-            Event::ThreadExit { t } => self.rag.on_thread_exit(t),
+            Event::ThreadExit { t } => {
+                if let Some(p) = &mut self.predictor {
+                    p.on_thread_exit(t);
+                }
+                self.rag.on_thread_exit(t);
+            }
+        }
+    }
+
+    /// One budgeted prediction pass: archives every feasible order cycle
+    /// (within the `max_predicted` budget) as a `predicted`-provenance
+    /// deadlock signature — the proactive analog of `detect_deadlocks`.
+    fn predict(&mut self) {
+        let Some(predictor) = &mut self.predictor else {
+            return;
+        };
+        let cycles = predictor.pass();
+        use std::sync::atomic::Ordering::Relaxed;
+        let pstats = predictor.stats();
+        self.stats
+            .prediction_guard_suppressed
+            .store(pstats.guard_suppressed, Relaxed);
+        self.stats
+            .prediction_edges
+            .store(pstats.edge_instances, Relaxed);
+        let max_predicted = predictor.config().max_predicted;
+        for cycle in cycles {
+            Stats::bump(&self.stats.cycles_predicted);
+            if self.predicted_budget_used >= max_predicted {
+                continue;
+            }
+            if let Some(sig) = self.history.add_with_provenance(
+                CycleKind::Deadlock,
+                cycle.labels,
+                self.config.default_depth,
+                Provenance::Predicted,
+            ) {
+                self.predicted_budget_used += 1;
+                Stats::bump(&self.stats.predicted_signatures);
+                Stats::bump(&self.stats.signatures_added);
+                if let Some(cal_cfg) = &self.config.calibration {
+                    let start_depth = sig.calibration().start(cal_cfg);
+                    sig.set_depth(start_depth);
+                }
+                self.dirty = true;
+                self.history.touch();
+            }
         }
     }
 

@@ -92,6 +92,22 @@ pub struct Stats {
     /// single `Allowed` bucket (updated by monitor passes; a hot bucket
     /// here means one signature member's suffix concentrates the load).
     pub hot_bucket_peak: AtomicU64,
+    /// Feasible deadlock cycles reported by the lock-order-graph
+    /// predictor (monitor-side; see `Config::prediction`).
+    pub cycles_predicted: AtomicU64,
+    /// Predicted cycles actually synthesized into the history as
+    /// `predicted`-provenance signatures (deduplicated, budget-capped).
+    pub predicted_signatures: AtomicU64,
+    /// Lock-order cycles the predictor refuted because a shared gate
+    /// (guard) lock provably serializes them — the suppressed would-be
+    /// false vaccines.
+    pub prediction_guard_suppressed: AtomicU64,
+    /// Gauge: live edge instances in the predictor's lock-order graph.
+    pub prediction_edges: AtomicU64,
+    /// Rebuilds that had to clamp an `occupancy_slots` override up to the
+    /// bucket-key count (the override would have reintroduced fingerprint
+    /// aliasing; see `Config::occupancy_slots`).
+    pub occupancy_clamps: AtomicU64,
 }
 
 impl Default for Stats {
@@ -118,6 +134,11 @@ impl Default for Stats {
             lane_high_water: AtomicU64::new(0),
             lane_overflows: AtomicU64::new(0),
             hot_bucket_peak: AtomicU64::new(0),
+            cycles_predicted: AtomicU64::new(0),
+            predicted_signatures: AtomicU64::new(0),
+            prediction_guard_suppressed: AtomicU64::new(0),
+            prediction_edges: AtomicU64::new(0),
+            occupancy_clamps: AtomicU64::new(0),
         }
     }
 }
@@ -226,6 +247,11 @@ impl Stats {
             lane_high_water: Self::get(&self.lane_high_water),
             lane_overflows: Self::get(&self.lane_overflows),
             hot_bucket_peak: Self::get(&self.hot_bucket_peak),
+            cycles_predicted: Self::get(&self.cycles_predicted),
+            predicted_signatures: Self::get(&self.predicted_signatures),
+            prediction_guard_suppressed: Self::get(&self.prediction_guard_suppressed),
+            prediction_edges: Self::get(&self.prediction_edges),
+            occupancy_clamps: Self::get(&self.occupancy_clamps),
         }
     }
 }
@@ -287,6 +313,16 @@ pub struct StatsSnapshot {
     pub lane_overflows: u64,
     /// Highest live-entry count observed in any single bucket.
     pub hot_bucket_peak: u64,
+    /// Feasible cycles reported by the deadlock predictor.
+    pub cycles_predicted: u64,
+    /// Predicted signatures synthesized into the history.
+    pub predicted_signatures: u64,
+    /// Predictor cycles suppressed by gate-lock analysis.
+    pub prediction_guard_suppressed: u64,
+    /// Live predictor lock-order-graph edge instances.
+    pub prediction_edges: u64,
+    /// Rebuilds that clamped an `occupancy_slots` override.
+    pub occupancy_clamps: u64,
 }
 
 impl fmt::Debug for StatsSnapshot {

@@ -1,0 +1,218 @@
+//! End-to-end tests of the proactive prediction pipeline at the hook
+//! level: benign (never-deadlocking) schedules teach the monitor's
+//! lock-order predictor, which synthesizes a `predicted`-provenance
+//! signature that the avoidance engine then enforces with a real yield —
+//! all deterministic, no OS-thread scheduling involved.
+
+use dimmunix_core::{Config, CycleKind, Decision, PredictionConfig, Provenance, Runtime};
+
+fn prediction_config() -> Config {
+    Config {
+        history_path: None,
+        prediction: Some(PredictionConfig::default()),
+        ..Config::default()
+    }
+}
+
+/// Two threads, two locks, opposite nesting orders — but perfectly
+/// serialized, so no deadlock (and no RAG cycle) ever exists.
+struct World {
+    rt: Runtime,
+    t0: dimmunix_core::ThreadId,
+    t1: dimmunix_core::ThreadId,
+    lock_a: dimmunix_core::LockId,
+    lock_b: dimmunix_core::LockId,
+    /// T0's outer acquisition (holds A) — a predicted signature member.
+    site_a: dimmunix_core::LockSite,
+    /// T1's outer acquisition (holds B) — the other member.
+    site_b: dimmunix_core::LockSite,
+    /// Inner acquisitions (distinct call paths, not members).
+    site_inner: dimmunix_core::LockSite,
+}
+
+impl World {
+    fn new(config: Config) -> Self {
+        let rt = Runtime::new(config).unwrap();
+        let t0 = rt.core().register_thread().unwrap();
+        let t1 = rt.core().register_thread().unwrap();
+        Self {
+            t0,
+            t1,
+            lock_a: rt.new_lock_id(),
+            lock_b: rt.new_lock_id(),
+            site_a: rt.make_site(&[("transfer_ab", "p.rs", 1), ("lock_first", "p.rs", 10)]),
+            site_b: rt.make_site(&[("transfer_ba", "p.rs", 2), ("lock_first", "p.rs", 20)]),
+            site_inner: rt.make_site(&[("lock_second", "p.rs", 30)]),
+            rt,
+        }
+    }
+
+    fn acquire(
+        &self,
+        t: dimmunix_core::ThreadId,
+        l: dimmunix_core::LockId,
+        site: &dimmunix_core::LockSite,
+    ) {
+        match self.rt.core().request(t, l, site.frames(), site.stack()) {
+            Decision::Go => self.rt.core().acquired(t, l, site.stack()),
+            d => panic!("benign phase must not yield, got {d:?}"),
+        }
+    }
+
+    fn release(&self, t: dimmunix_core::ThreadId, l: dimmunix_core::LockId) {
+        self.rt.core().release(t, l);
+    }
+
+    /// One serialized inversion: T0 runs `A; B` to completion, then T1
+    /// runs `B; A` to completion.
+    fn benign_inversion(&self) {
+        self.acquire(self.t0, self.lock_a, &self.site_a);
+        self.acquire(self.t0, self.lock_b, &self.site_inner);
+        self.release(self.t0, self.lock_b);
+        self.release(self.t0, self.lock_a);
+        self.acquire(self.t1, self.lock_b, &self.site_b);
+        self.acquire(self.t1, self.lock_a, &self.site_inner);
+        self.release(self.t1, self.lock_a);
+        self.release(self.t1, self.lock_b);
+    }
+}
+
+#[test]
+fn benign_inversion_synthesizes_a_predicted_vaccine() {
+    let w = World::new(prediction_config());
+    w.benign_inversion();
+    assert!(
+        w.rt.history().is_empty(),
+        "nothing archived before the pass"
+    );
+    w.rt.step_monitor();
+
+    let snap = w.rt.history().snapshot();
+    assert_eq!(snap.len(), 1, "exactly one predicted signature: {snap:?}");
+    let sig = &snap[0];
+    assert_eq!(sig.provenance, Provenance::Predicted);
+    assert_eq!(sig.kind, CycleKind::Deadlock);
+    assert_eq!(sig.size(), 2);
+    // The members are the two *outer* hold stacks — the labels a detected
+    // AB/BA cycle would have carried.
+    let mut members = sig.stacks.to_vec();
+    members.sort_unstable();
+    let mut expect = vec![w.site_a.stack(), w.site_b.stack()];
+    expect.sort_unstable();
+    assert_eq!(members, expect);
+
+    let stats = w.rt.stats();
+    assert_eq!(stats.deadlocks_detected, 0, "no cycle ever existed");
+    assert_eq!(stats.cycles_predicted, 1);
+    assert_eq!(stats.predicted_signatures, 1);
+    assert!(stats.prediction_edges >= 2);
+}
+
+#[test]
+fn predicted_signature_triggers_a_real_yield_before_any_deadlock() {
+    let w = World::new(prediction_config());
+    w.benign_inversion();
+    w.rt.step_monitor();
+    assert_eq!(w.rt.history().len(), 1);
+
+    // The dangerous approach: T1 already holds B (outer), T0 now asks for
+    // A on its outer path. Without the vaccine this is the first half of
+    // the deadlock; with it, the request must yield.
+    w.acquire(w.t1, w.lock_b, &w.site_b);
+    let d =
+        w.rt.core()
+            .request(w.t0, w.lock_a, w.site_a.frames(), w.site_a.stack());
+    match d {
+        Decision::Yield { sig } => assert_eq!(sig.provenance, Provenance::Predicted),
+        Decision::Go => panic!("vaccinated pattern must yield"),
+    }
+    assert_eq!(w.rt.stats().yields, 1);
+    assert_eq!(w.rt.stats().deadlocks_detected, 0);
+
+    // Once T1 releases B, the danger passes and T0 proceeds.
+    w.rt.core().cancel(w.t0, w.lock_a);
+    w.release(w.t1, w.lock_b);
+    let d =
+        w.rt.core()
+            .request(w.t0, w.lock_a, w.site_a.frames(), w.site_a.stack());
+    assert!(matches!(d, Decision::Go), "danger passed, got {d:?}");
+}
+
+#[test]
+fn gate_locked_inversion_is_not_vaccinated() {
+    let w = World::new(prediction_config());
+    let gate = w.rt.new_lock_id();
+    let site_gate = w.rt.make_site(&[("gate", "p.rs", 40)]);
+    // The same serialized inversion, but every nested section runs under
+    // one shared gate lock: the order cycle can never manifest, and the
+    // predictor must not synthesize a false vaccine.
+    w.acquire(w.t0, gate, &site_gate);
+    w.acquire(w.t0, w.lock_a, &w.site_a);
+    w.acquire(w.t0, w.lock_b, &w.site_inner);
+    w.release(w.t0, w.lock_b);
+    w.release(w.t0, w.lock_a);
+    w.release(w.t0, gate);
+    w.acquire(w.t1, gate, &site_gate);
+    w.acquire(w.t1, w.lock_b, &w.site_b);
+    w.acquire(w.t1, w.lock_a, &w.site_inner);
+    w.release(w.t1, w.lock_a);
+    w.release(w.t1, w.lock_b);
+    w.release(w.t1, gate);
+    w.rt.step_monitor();
+
+    assert!(
+        w.rt.history().is_empty(),
+        "gate-locked cycle must not vaccinate"
+    );
+    let stats = w.rt.stats();
+    assert_eq!(stats.predicted_signatures, 0);
+    assert!(
+        stats.prediction_guard_suppressed >= 1,
+        "suppression must be visible in telemetry: {stats:?}"
+    );
+    // And the pattern still runs GO end to end.
+    w.acquire(w.t1, w.lock_b, &w.site_b);
+    let d =
+        w.rt.core()
+            .request(w.t0, w.lock_a, w.site_a.frames(), w.site_a.stack());
+    assert!(matches!(d, Decision::Go));
+}
+
+#[test]
+fn prediction_budget_caps_synthesis_but_keeps_counting() {
+    let cfg = Config {
+        prediction: Some(PredictionConfig {
+            max_predicted: 1,
+            ..PredictionConfig::default()
+        }),
+        ..prediction_config()
+    };
+    let rt = Runtime::new(cfg).unwrap();
+    let t0 = rt.core().register_thread().unwrap();
+    let t1 = rt.core().register_thread().unwrap();
+    // Two independent inversions over disjoint lock pairs and call paths.
+    for pair in 0..2u32 {
+        let la = rt.new_lock_id();
+        let lb = rt.new_lock_id();
+        let sa = rt.make_site(&[("outer_a", "p.rs", 100 + pair)]);
+        let sb = rt.make_site(&[("outer_b", "p.rs", 200 + pair)]);
+        let si = rt.make_site(&[("inner", "p.rs", 300 + pair)]);
+        for (t, first, fsite, second) in [(t0, la, &sa, lb), (t1, lb, &sb, la)] {
+            match rt.core().request(t, first, fsite.frames(), fsite.stack()) {
+                Decision::Go => rt.core().acquired(t, first, fsite.stack()),
+                d => panic!("unexpected {d:?}"),
+            }
+            match rt.core().request(t, second, si.frames(), si.stack()) {
+                Decision::Go => rt.core().acquired(t, second, si.stack()),
+                d => panic!("unexpected {d:?}"),
+            }
+            rt.core().release(t, second);
+            rt.core().release(t, first);
+        }
+    }
+    rt.step_monitor();
+    let stats = rt.stats();
+    assert_eq!(stats.cycles_predicted, 2, "both cycles found: {stats:?}");
+    assert_eq!(stats.predicted_signatures, 1, "budget caps archival");
+    assert_eq!(rt.history().len(), 1);
+}

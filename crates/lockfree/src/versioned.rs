@@ -34,13 +34,21 @@
 //!
 //! # Memory ordering
 //!
-//! The sequence word is operated on with `SeqCst` and both writer
-//! transitions are RMWs. That makes the cross-structure Dekker argument in
-//! the avoidance engine sound: a yielding thread does *(push wake
-//! registration — SeqCst RMW) then (re-load `seq` — SeqCst)*, while a
-//! releasing thread does *(bump `seq` via the writer claim — SeqCst RMW)
-//! then (swap the wake list — SeqCst RMW)*; in the single total order of
-//! `SeqCst` operations one of the two sides must see the other.
+//! The sequence word is operated on with `SeqCst`. The writer *claim* is a
+//! CAS (it is the mutual-exclusion point), but the *release* transition is
+//! a plain `SeqCst` **store**: inside a write session the claim holder is
+//! the only possible writer of the sequence word (every other writer is
+//! spinning in its claim loop, which only CASes an *even* value, and the
+//! holder knows the exact odd value it claimed to), so an RMW would buy
+//! nothing — the single-writer release fast path halves the session's
+//! `SeqCst` RMWs and shaves the uncontended own-entry insert/remove on the
+//! 1-thread signature-hit rows. The cross-structure Dekker argument in the
+//! avoidance engine stays sound because a `SeqCst` store still
+//! participates in the single total order: a yielding thread does *(push
+//! wake registration — SeqCst RMW) then (re-load `seq` — SeqCst)*, while a
+//! releasing thread does *(claim `seq` — SeqCst CAS, release — SeqCst
+//! store) then (swap the wake list — SeqCst RMW)*; one of the two sides
+//! must see the other.
 
 use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
@@ -209,7 +217,9 @@ impl<const W: usize> VersionedBucket<W> {
 
     /// Claims the bucket for writing: one CAS on the sequence word (even →
     /// odd), spinning with backoff while another writer is inside. The
-    /// returned guard releases the claim (odd → even) on drop, so every
+    /// returned guard releases the claim (odd → even) on drop — a plain
+    /// `SeqCst` store, since the holder is the sequence word's only writer
+    /// (single-writer release fast path; see the module docs) — so every
     /// write session moves the sequence by exactly 2.
     pub fn write(&self) -> BucketWriter<'_, W> {
         let mut wait = ClaimWait::new();
@@ -222,7 +232,11 @@ impl<const W: usize> VersionedBucket<W> {
                     .is_ok()
             {
                 let len = self.len.load(Ordering::Relaxed);
-                return BucketWriter { bucket: self, len };
+                return BucketWriter {
+                    bucket: self,
+                    len,
+                    claimed: s + 1,
+                };
             }
             wait.wait();
         }
@@ -290,6 +304,9 @@ impl<const W: usize> std::fmt::Debug for VersionedBucket<W> {
 pub struct BucketWriter<'a, const W: usize> {
     bucket: &'a VersionedBucket<W>,
     len: u32,
+    /// The odd sequence value this session claimed to; the release store
+    /// publishes `claimed + 1` without re-reading the word.
+    claimed: u64,
 }
 
 impl<const W: usize> BucketWriter<'_, W> {
@@ -345,7 +362,12 @@ impl<const W: usize> BucketWriter<'_, W> {
 
 impl<const W: usize> Drop for BucketWriter<'_, W> {
     fn drop(&mut self) {
-        self.bucket.seq.fetch_add(1, Ordering::SeqCst);
+        // Single-writer release: while the sequence is odd, every other
+        // writer's claim loop refuses to CAS and readers only load, so the
+        // holder's store cannot race another write to the word. `SeqCst`
+        // keeps the release in the total order the engine's
+        // register-then-revalidate / remove-then-drain protocol needs.
+        self.bucket.seq.store(self.claimed + 1, Ordering::SeqCst);
     }
 }
 

@@ -1,0 +1,99 @@
+//! The cross-thread lock-order graph.
+//!
+//! Nodes are locks; a directed edge `src → dst` records that some thread
+//! acquired `dst` while holding `src`. Each edge keeps a bounded set of
+//! **instances** — who established the ordering, with which hold stack,
+//! and under which **guard set** (the other locks the thread held at that
+//! moment, the Goodlock "gate locks"). The instances are what the cycle
+//! search combines: a lock cycle is only a *feasible* deadlock if one
+//! instance per edge can be chosen such that the threads are pairwise
+//! distinct and the guard sets are pairwise disjoint (a common gate lock
+//! serializes the two critical sections, so the cycle can never close).
+
+use dimmunix_rag::{LockId, ThreadId};
+use dimmunix_signature::StackId;
+use std::collections::HashMap;
+
+/// One observed establishment of a lock ordering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct EdgeInstance {
+    /// The thread that acquired the edge's destination lock.
+    pub thread: ThreadId,
+    /// The call stack with which the thread held the edge's *source* lock —
+    /// exactly the hold-edge label a detected deadlock cycle would carry,
+    /// and therefore the synthesized signature's member stack.
+    pub hold_stack: StackId,
+    /// All other locks held at the acquisition (sorted, source excluded):
+    /// the gate locks guarding this ordering.
+    pub guards: Box<[LockId]>,
+}
+
+/// Outcome of recording an ordering observation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Recorded {
+    /// A new instance was stored; the edge should be (re-)searched.
+    New,
+    /// An identical instance already existed.
+    Duplicate,
+    /// The per-edge or global instance cap was hit; observation dropped.
+    Capped,
+}
+
+/// The graph itself: `src → dst → instances`.
+#[derive(Default, Debug)]
+pub(crate) struct LockOrderGraph {
+    edges: HashMap<LockId, HashMap<LockId, Vec<EdgeInstance>>>,
+    instances: usize,
+}
+
+impl LockOrderGraph {
+    /// Records one ordering observation, deduplicating identical instances.
+    pub fn record(
+        &mut self,
+        src: LockId,
+        dst: LockId,
+        inst: EdgeInstance,
+        per_edge_cap: usize,
+        global_cap: usize,
+    ) -> Recorded {
+        if self.instances >= global_cap {
+            return Recorded::Capped;
+        }
+        let slot = self.edges.entry(src).or_default().entry(dst).or_default();
+        if slot.contains(&inst) {
+            return Recorded::Duplicate;
+        }
+        if slot.len() >= per_edge_cap {
+            return Recorded::Capped;
+        }
+        slot.push(inst);
+        self.instances += 1;
+        Recorded::New
+    }
+
+    /// The destination locks reachable from `src` by one edge.
+    pub fn successors(&self, src: LockId) -> impl Iterator<Item = LockId> + '_ {
+        self.edges
+            .get(&src)
+            .into_iter()
+            .flat_map(|m| m.keys().copied())
+    }
+
+    /// The recorded instances of edge `src → dst` (empty if absent).
+    pub fn instances(&self, src: LockId, dst: LockId) -> &[EdgeInstance] {
+        self.edges
+            .get(&src)
+            .and_then(|m| m.get(&dst))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total stored edge instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances
+    }
+
+    /// Number of locks appearing as an edge source.
+    pub fn lock_count(&self) -> usize {
+        self.edges.len()
+    }
+}

@@ -1,0 +1,595 @@
+//! # Proactive deadlock prediction for Dimmunix
+//!
+//! The OSDI'08 system only develops immunity *after* suffering each
+//! deadlock pattern once: the monitor archives a signature when the RAG
+//! contains an actual cycle. This crate closes that gap with a
+//! Goodlock-style **lock-order-graph predictor**: it watches the same
+//! monitor-side event stream (acquisitions and releases — never the
+//! request hot path), maintains a cross-thread lock-order graph, and
+//! reports order cycles that are *feasible* deadlocks — cycles for which
+//! one ordering instance per edge can be chosen with pairwise-distinct
+//! threads and pairwise-disjoint **guard sets** (the gate locks held
+//! around each ordering; a common gate serializes the critical sections,
+//! so such a cycle can never actually close — the classic gate-lock
+//! false-positive suppression).
+//!
+//! A predicted cycle synthesizes a real deadlock signature: each chosen
+//! edge instance contributes the call stack with which its thread *held*
+//! the edge's source lock — exactly the hold-edge label the RAG's cycle
+//! detector would have reported had the deadlock fired. The monitor
+//! archives those labels through the ordinary history path (tagged
+//! [`dimmunix_signature::Provenance::Predicted`]), so the epoch-published
+//! match view picks the vaccine up like any suffered signature and the
+//! avoidance engine yields threads away from the pattern **before its
+//! first manifestation** — first-run immunity, and vendor-shippable
+//! vaccines from clean test runs.
+//!
+//! The predictor is deliberately bounded: per-edge and global instance
+//! caps, a lock-cycle length bound, and a per-pass search budget (dirty
+//! edges carry over), so a pathological program degrades prediction
+//! coverage instead of monitor latency. All work happens on the monitor
+//! thread; the request fast path is untouched.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod graph;
+
+use graph::{EdgeInstance, LockOrderGraph, Recorded};
+
+use dimmunix_rag::{LockId, ThreadId};
+use dimmunix_signature::StackId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Tunables of the prediction subsystem.
+#[derive(Clone, Debug)]
+pub struct PredictionConfig {
+    /// Upper bound on predicted signatures synthesized into the history
+    /// by one process (the monitor stops archiving — but keeps counting —
+    /// beyond it).
+    pub max_predicted: usize,
+    /// Minimum number of edges (== threads) in a reported cycle. 2 is the
+    /// classic two-lock inversion.
+    pub min_cycle_len: usize,
+    /// Maximum number of edges in a searched cycle; bounds the DFS depth.
+    pub max_cycle_len: usize,
+    /// Per-edge cap on stored ordering instances.
+    pub max_instances_per_edge: usize,
+    /// Global cap on stored ordering instances (graph memory bound).
+    pub max_edge_instances: usize,
+    /// Cycle-search step budget per [`Predictor::pass`]; un-searched dirty
+    /// edges carry over to the next pass.
+    pub pass_budget: usize,
+}
+
+impl Default for PredictionConfig {
+    fn default() -> Self {
+        Self {
+            max_predicted: 128,
+            min_cycle_len: 2,
+            max_cycle_len: 4,
+            max_instances_per_edge: 8,
+            max_edge_instances: 1 << 16,
+            pass_budget: 1 << 13,
+        }
+    }
+}
+
+/// One feasible deadlock the predictor found.
+#[derive(Clone, Debug)]
+pub struct PredictedCycle {
+    /// The synthesized signature's member stacks (sorted multiset): one
+    /// hold stack per cycle edge.
+    pub labels: Vec<StackId>,
+    /// Number of threads (== locks == edges) on the cycle.
+    pub threads: usize,
+}
+
+/// Monotonic predictor counters (telemetry).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Feasible cycles reported (each becomes a candidate vaccine).
+    pub cycles_predicted: u64,
+    /// Distinct lock cycles refuted because every instance combination
+    /// was blocked by a shared gate lock (or a cycle lock inside a guard
+    /// set), counted once per cycle lock set.
+    pub guard_suppressed: u64,
+    /// Ordering observations dropped by the instance caps, plus dirty
+    /// edges abandoned because their cycle search could not finish within
+    /// one full pass budget.
+    pub dropped: u64,
+    /// Live edge instances in the order graph (gauge).
+    pub edge_instances: u64,
+    /// Locks present in the order graph (gauge).
+    pub locks: u64,
+}
+
+/// The online lock-order-graph deadlock predictor. One per monitor; not
+/// thread-safe (the monitor owns it).
+#[derive(Debug)]
+pub struct Predictor {
+    cfg: PredictionConfig,
+    graph: LockOrderGraph,
+    /// Per-thread held multiset: `(lock, acquisition stack)` in acquisition
+    /// order (reentrancy repeats the lock).
+    held: HashMap<ThreadId, Vec<(LockId, StackId)>>,
+    /// Edges that gained an instance since they were last searched.
+    dirty: VecDeque<(LockId, LockId)>,
+    dirty_set: HashSet<(LockId, LockId)>,
+    /// Label multisets already reported (prevents re-emission and
+    /// re-searching known cycles every pass).
+    emitted: HashSet<Vec<StackId>>,
+    /// Lock sets of cycles already counted as guard-suppressed, so the
+    /// telemetry counts *distinct* suppressed cycles — not one event per
+    /// rotation, dirty edge, or re-dirtying instance.
+    suppressed_cycles: HashSet<Vec<LockId>>,
+    cycles_predicted: u64,
+    guard_suppressed: u64,
+    dropped: u64,
+}
+
+impl Predictor {
+    /// Creates an empty predictor.
+    pub fn new(cfg: PredictionConfig) -> Self {
+        Self {
+            cfg,
+            graph: LockOrderGraph::default(),
+            held: HashMap::new(),
+            dirty: VecDeque::new(),
+            dirty_set: HashSet::new(),
+            emitted: HashSet::new(),
+            suppressed_cycles: HashSet::new(),
+            cycles_predicted: 0,
+            guard_suppressed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configuration this predictor runs under.
+    pub fn config(&self) -> &PredictionConfig {
+        &self.cfg
+    }
+
+    /// Feeds one `acquired` event: thread `t` obtained lock `l` with call
+    /// stack `stack`. Records one order-graph edge per lock already held.
+    pub fn on_acquired(&mut self, t: ThreadId, l: LockId, stack: StackId) {
+        let held = self.held.entry(t).or_default();
+        let reentrant = held.iter().any(|&(h, _)| h == l);
+        if !reentrant && !held.is_empty() {
+            // Distinct held locks with their innermost hold stacks, in
+            // acquisition order (deterministic edge recording).
+            let mut distinct: Vec<(LockId, StackId)> = Vec::with_capacity(held.len());
+            for &(h, s) in held.iter() {
+                match distinct.iter_mut().find(|(d, _)| *d == h) {
+                    Some(entry) => entry.1 = s, // innermost hold wins
+                    None => distinct.push((h, s)),
+                }
+            }
+            for &(src, hold_stack) in &distinct {
+                // Gate set: every *other* held lock. A lock held across
+                // both of two orderings serializes them.
+                let mut guards: Vec<LockId> = distinct
+                    .iter()
+                    .map(|&(d, _)| d)
+                    .filter(|&d| d != src)
+                    .collect();
+                guards.sort_unstable();
+                let inst = EdgeInstance {
+                    thread: t,
+                    hold_stack,
+                    guards: guards.into_boxed_slice(),
+                };
+                match self.graph.record(
+                    src,
+                    l,
+                    inst,
+                    self.cfg.max_instances_per_edge,
+                    self.cfg.max_edge_instances,
+                ) {
+                    Recorded::New => {
+                        if self.dirty_set.insert((src, l)) {
+                            self.dirty.push_back((src, l));
+                        }
+                    }
+                    Recorded::Duplicate => {}
+                    Recorded::Capped => self.dropped += 1,
+                }
+            }
+        }
+        held.push((l, stack));
+    }
+
+    /// Feeds one `release` event: pops the innermost hold of `(t, l)`.
+    pub fn on_release(&mut self, t: ThreadId, l: LockId) {
+        if let Some(held) = self.held.get_mut(&t) {
+            if let Some(pos) = held.iter().rposition(|&(h, _)| h == l) {
+                held.remove(pos);
+            }
+            if held.is_empty() {
+                self.held.remove(&t);
+            }
+        }
+    }
+
+    /// Feeds a thread-exit event: forgets the thread's held set. Recorded
+    /// orderings persist — they are history, not state.
+    pub fn on_thread_exit(&mut self, t: ThreadId) {
+        self.held.remove(&t);
+    }
+
+    /// Runs one budgeted prediction pass over the edges dirtied since the
+    /// last one. Returns newly found feasible cycles, deterministically
+    /// ordered; never returns the same label multiset twice.
+    pub fn pass(&mut self) -> Vec<PredictedCycle> {
+        let mut budget = self.cfg.pass_budget;
+        let mut found: Vec<PredictedCycle> = Vec::new();
+        while let Some((src, dst)) = self.dirty.pop_front() {
+            self.dirty_set.remove(&(src, dst));
+            let fresh_budget = budget == self.cfg.pass_budget;
+            if !self.search_edge(src, dst, &mut budget, &mut found) {
+                if fresh_budget {
+                    // Even an entire pass's budget cannot finish this
+                    // edge's search (the DFS restarts from scratch each
+                    // attempt), so retrying would livelock the queue and
+                    // starve every other edge. Drop it and account for
+                    // the lost coverage.
+                    self.dropped += 1;
+                } else if self.dirty_set.insert((src, dst)) {
+                    // Ran out mid-pass: rotate to the *back* so the
+                    // remaining dirty edges still progress next pass.
+                    self.dirty.push_back((src, dst));
+                }
+                break;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        found.sort_by(|a, b| a.labels.cmp(&b.labels));
+        self.cycles_predicted += found.len() as u64;
+        found
+    }
+
+    /// Whether any dirty edges are pending a (re-)search.
+    pub fn has_pending_work(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> PredictorStats {
+        PredictorStats {
+            cycles_predicted: self.cycles_predicted,
+            guard_suppressed: self.guard_suppressed,
+            dropped: self.dropped,
+            edge_instances: self.graph.instance_count() as u64,
+            locks: self.graph.lock_count() as u64,
+        }
+    }
+
+    /// Searches for lock cycles through edge `start_src → start_dst`.
+    /// Returns `false` when the budget ran out before the edge was fully
+    /// explored.
+    fn search_edge(
+        &mut self,
+        start_src: LockId,
+        start_dst: LockId,
+        budget: &mut usize,
+        found: &mut Vec<PredictedCycle>,
+    ) -> bool {
+        if start_src == start_dst {
+            return true;
+        }
+        // Iterative DFS from `start_dst` back to `start_src`; the path is
+        // the lock sequence [start_src, start_dst, ...]. Successor lists
+        // are sorted so discovery order — and hence emission order — is
+        // deterministic.
+        let mut path: Vec<LockId> = vec![start_src, start_dst];
+        let mut frames: Vec<std::vec::IntoIter<LockId>> = vec![self.sorted_successors(start_dst)];
+        while let Some(frame) = frames.last_mut() {
+            let Some(next) = frame.next() else {
+                frames.pop();
+                path.pop();
+                continue;
+            };
+            if *budget == 0 {
+                return false;
+            }
+            *budget = budget.saturating_sub(1);
+            if next == start_src {
+                if path.len() >= self.cfg.min_cycle_len {
+                    self.try_emit(&path, budget, found);
+                }
+                continue;
+            }
+            if path.contains(&next) || path.len() >= self.cfg.max_cycle_len {
+                continue;
+            }
+            path.push(next);
+            frames.push(self.sorted_successors(next));
+        }
+        true
+    }
+
+    fn sorted_successors(&self, l: LockId) -> std::vec::IntoIter<LockId> {
+        let mut v: Vec<LockId> = self.graph.successors(l).collect();
+        v.sort_unstable();
+        v.into_iter()
+    }
+
+    /// Tries to pick one instance per edge of the lock cycle `path` with
+    /// pairwise-distinct threads and pairwise-disjoint guard sets, no
+    /// guard naming a cycle lock. Emits on success; counts a guard
+    /// suppression when only gate locks stood in the way.
+    fn try_emit(&mut self, path: &[LockId], budget: &mut usize, found: &mut Vec<PredictedCycle>) {
+        let n = path.len();
+        let mut chosen: Vec<&EdgeInstance> = Vec::with_capacity(n);
+        let mut guard_blocked = false;
+        let ok = self.assign(path, 0, &mut chosen, &mut guard_blocked, budget);
+        if ok {
+            let mut labels: Vec<StackId> = chosen.iter().map(|i| i.hold_stack).collect();
+            labels.sort_unstable();
+            if self.emitted.insert(labels.clone()) {
+                found.push(PredictedCycle { labels, threads: n });
+            }
+        } else if guard_blocked {
+            // Count distinct suppressed cycles, keyed by lock set: the
+            // same cycle reached via another rotation, dirty edge, or a
+            // later re-dirtying instance must not inflate the counter.
+            let mut key: Vec<LockId> = path.to_vec();
+            key.sort_unstable();
+            if self.suppressed_cycles.insert(key) {
+                self.guard_suppressed += 1;
+            }
+        }
+    }
+
+    /// Backtracking instance assignment over cycle edge `i` (the edge
+    /// `path[i] → path[(i + 1) % n]`).
+    fn assign<'g>(
+        &'g self,
+        path: &[LockId],
+        i: usize,
+        chosen: &mut Vec<&'g EdgeInstance>,
+        guard_blocked: &mut bool,
+        budget: &mut usize,
+    ) -> bool {
+        if i == path.len() {
+            return true;
+        }
+        let dst = path[(i + 1) % path.len()];
+        for inst in self.graph.instances(path[i], dst) {
+            *budget = budget.saturating_sub(1);
+            if chosen.iter().any(|c| c.thread == inst.thread) {
+                continue;
+            }
+            // A guard that is itself a cycle lock, or one shared with an
+            // already chosen instance, gates the cycle shut: in the
+            // would-be deadlock state every cycle lock is pinned and a
+            // common gate lock cannot be held twice.
+            if inst
+                .guards
+                .iter()
+                .any(|g| path.contains(g) || chosen.iter().any(|c| c.guards.contains(g)))
+            {
+                *guard_blocked = true;
+                continue;
+            }
+            chosen.push(inst);
+            if self.assign(path, i + 1, chosen, guard_blocked, budget) {
+                return true;
+            }
+            chosen.pop();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn l(n: u64) -> LockId {
+        LockId(n)
+    }
+
+    fn s(n: u32) -> StackId {
+        StackId(n)
+    }
+
+    /// Runs `t` through `lock (outer); lock (inner); unlock; unlock`.
+    fn nested(
+        p: &mut Predictor,
+        tid: ThreadId,
+        outer: (LockId, StackId),
+        inner: (LockId, StackId),
+    ) {
+        p.on_acquired(tid, outer.0, outer.1);
+        p.on_acquired(tid, inner.0, inner.1);
+        p.on_release(tid, inner.0);
+        p.on_release(tid, outer.0);
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_predicted_with_hold_stack_labels() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        nested(&mut p, t(1), (l(1), s(11)), (l(2), s(12)));
+        nested(&mut p, t(2), (l(2), s(22)), (l(1), s(21)));
+        let cycles = p.pass();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].threads, 2);
+        // Labels are the *hold* stacks of the edge sources: T1 held L1
+        // with s11, T2 held L2 with s22 — the same multiset a detected
+        // AB/BA deadlock produces.
+        assert_eq!(cycles[0].labels, vec![s(11), s(22)]);
+        assert_eq!(p.stats().cycles_predicted, 1);
+        assert_eq!(p.stats().guard_suppressed, 0);
+    }
+
+    #[test]
+    fn common_gate_lock_suppresses_the_cycle() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        let g = l(9);
+        for (tid, outer, inner) in [(t(1), l(1), l(2)), (t(2), l(2), l(1))] {
+            p.on_acquired(tid, g, s(90));
+            nested(&mut p, tid, (outer, s(outer.0 as u32)), (inner, s(100)));
+            p.on_release(tid, g);
+        }
+        assert!(
+            p.pass().is_empty(),
+            "gate-locked cycle must not be predicted"
+        );
+        // Counted once per distinct cycle — not per rotation/dirty edge.
+        assert_eq!(p.stats().guard_suppressed, 1);
+        // A later instance with a fresh stack re-dirties an edge, but the
+        // already-counted cycle must not inflate the counter.
+        p.on_acquired(t(1), l(9), s(90));
+        p.on_acquired(t(1), l(1), s(77));
+        p.on_acquired(t(1), l(2), s(78));
+        p.on_release(t(1), l(2));
+        p.on_release(t(1), l(1));
+        p.on_release(t(1), l(9));
+        assert!(p.pass().is_empty());
+        assert_eq!(p.stats().guard_suppressed, 1);
+    }
+
+    #[test]
+    fn distinct_gate_locks_do_not_suppress() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        for (tid, gate, outer, inner) in [(t(1), l(8), l(1), l(2)), (t(2), l(9), l(2), l(1))] {
+            p.on_acquired(tid, gate, s(80));
+            nested(&mut p, tid, (outer, s(outer.0 as u32)), (inner, s(100)));
+            p.on_release(tid, gate);
+        }
+        // Guard sets {L8} and {L9} are disjoint: feasible.
+        assert_eq!(p.pass().len(), 1);
+    }
+
+    #[test]
+    fn single_thread_inversion_is_not_a_cycle() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(2)));
+        nested(&mut p, t(1), (l(2), s(3)), (l(1), s(4)));
+        assert!(p.pass().is_empty(), "a thread cannot deadlock with itself");
+    }
+
+    #[test]
+    fn three_thread_cycle_and_min_len_filter() {
+        let mk = || {
+            let mut p = Predictor::new(PredictionConfig::default());
+            nested(&mut p, t(1), (l(1), s(1)), (l(2), s(12)));
+            nested(&mut p, t(2), (l(2), s(2)), (l(3), s(23)));
+            nested(&mut p, t(3), (l(3), s(3)), (l(1), s(31)));
+            p
+        };
+        let mut p = mk();
+        let cycles = p.pass();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].threads, 3);
+        assert_eq!(cycles[0].labels, vec![s(1), s(2), s(3)]);
+
+        let mut p4 = Predictor::new(PredictionConfig {
+            min_cycle_len: 4,
+            ..PredictionConfig::default()
+        });
+        nested(&mut p4, t(1), (l(1), s(1)), (l(2), s(12)));
+        nested(&mut p4, t(2), (l(2), s(2)), (l(3), s(23)));
+        nested(&mut p4, t(3), (l(3), s(3)), (l(1), s(31)));
+        assert!(p4.pass().is_empty(), "3-cycle below min_cycle_len = 4");
+    }
+
+    #[test]
+    fn known_cycles_are_not_re_emitted() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(2)));
+        nested(&mut p, t(2), (l(2), s(3)), (l(1), s(4)));
+        assert_eq!(p.pass().len(), 1);
+        assert!(p.pass().is_empty());
+        // Replaying the same schedule dirties nothing (duplicate
+        // instances) and emits nothing.
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(2)));
+        nested(&mut p, t(2), (l(2), s(3)), (l(1), s(4)));
+        assert!(p.pass().is_empty());
+        assert_eq!(p.stats().cycles_predicted, 1);
+    }
+
+    #[test]
+    fn budget_starved_passes_carry_dirty_edges_over() {
+        let mut p = Predictor::new(PredictionConfig {
+            pass_budget: 1,
+            ..PredictionConfig::default()
+        });
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(2)));
+        nested(&mut p, t(2), (l(2), s(3)), (l(1), s(4)));
+        let mut found = Vec::new();
+        for _ in 0..64 {
+            found.extend(p.pass());
+            if !p.has_pending_work() {
+                break;
+            }
+        }
+        assert_eq!(found.len(), 1, "carry-over must eventually find the cycle");
+    }
+
+    #[test]
+    fn oversized_searches_are_dropped_not_livelocked() {
+        // A 3-cycle needs more than one DFS step per edge, so with a
+        // 1-step budget no search can ever finish: the edges must be
+        // dropped (counted) rather than retried forever.
+        let mut p = Predictor::new(PredictionConfig {
+            pass_budget: 1,
+            ..PredictionConfig::default()
+        });
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(12)));
+        nested(&mut p, t(2), (l(2), s(2)), (l(3), s(23)));
+        nested(&mut p, t(3), (l(3), s(3)), (l(1), s(31)));
+        let mut passes = 0;
+        while p.has_pending_work() {
+            assert!(p.pass().is_empty());
+            passes += 1;
+            assert!(passes < 64, "dirty queue must drain, not livelock");
+        }
+        assert!(p.stats().dropped >= 1, "{:?}", p.stats());
+        assert!(p.pass().is_empty());
+    }
+
+    #[test]
+    fn released_locks_record_no_edges() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        p.on_acquired(t(1), l(1), s(1));
+        p.on_release(t(1), l(1));
+        p.on_acquired(t(1), l(2), s(2));
+        p.on_release(t(1), l(2));
+        assert_eq!(p.stats().edge_instances, 0);
+        // Thread exit clears held state even without releases.
+        p.on_acquired(t(2), l(1), s(3));
+        p.on_thread_exit(t(2));
+        p.on_acquired(t(2), l(2), s(4));
+        assert_eq!(p.stats().edge_instances, 0);
+    }
+
+    #[test]
+    fn reentrant_reacquisition_records_no_self_edges() {
+        let mut p = Predictor::new(PredictionConfig::default());
+        p.on_acquired(t(1), l(1), s(1));
+        p.on_acquired(t(1), l(1), s(2));
+        p.on_release(t(1), l(1));
+        p.on_release(t(1), l(1));
+        assert_eq!(p.stats().edge_instances, 0);
+    }
+
+    #[test]
+    fn instance_caps_count_drops() {
+        let mut p = Predictor::new(PredictionConfig {
+            max_instances_per_edge: 1,
+            ..PredictionConfig::default()
+        });
+        nested(&mut p, t(1), (l(1), s(1)), (l(2), s(2)));
+        nested(&mut p, t(2), (l(1), s(3)), (l(2), s(4)));
+        assert_eq!(p.stats().edge_instances, 1);
+        assert_eq!(p.stats().dropped, 1);
+    }
+}

@@ -33,6 +33,13 @@
 //!
 //! Signatures are extracted per §5.3: the multiset of call-stack labels of
 //! all hold and yield edges in the detected cycle.
+//!
+//! Both detectors are *reactive*: they report cycles that exist. Their
+//! proactive complement lives in `dimmunix_predict`, which consumes the
+//! same monitor-side event stream but analyses the **lock-order graph**
+//! (acquired-while-holding edges) to synthesize signatures with the exact
+//! hold-edge labels [`graph::Rag::find_deadlock_cycles`] would have
+//! reported — before any cycle ever forms in this graph.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -12,8 +12,8 @@
 //! paper (§7.4):
 //!
 //! ```text
-//! # dimmunix-history v1
-//! signature kind=deadlock depth=4 disabled=0 avoided=12 aborts=0
+//! # dimmunix-history v2
+//! signature kind=deadlock provenance=predicted depth=4 disabled=0 avoided=12 aborts=0
 //! stack 2
 //! frame main|src/main.rs|10
 //! frame update|src/main.rs|3
@@ -27,9 +27,16 @@
 //! is deliberately diff-able and hand-editable: the paper's §8 envisions
 //! vendors shipping signature files to users as "vaccines", and users
 //! deleting or disabling individual signatures.
+//!
+//! Format v2 adds the per-signature `provenance` attribute
+//! (`detected` / `starved` / `predicted`) so vaccines synthesized by the
+//! deadlock predictor stay distinguishable from suffered cycles. v1 files
+//! load unchanged: a signature without the attribute defaults to the
+//! provenance implied by its kind ([`Provenance::default_for`]). Files are
+//! always saved as v2.
 
 use crate::frame::FrameTable;
-use crate::signature::{CycleKind, SigId, Signature};
+use crate::signature::{CycleKind, Provenance, SigId, Signature};
 use crate::stack::{StackId, StackTable};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
@@ -38,8 +45,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Magic first line of a history file.
-const HEADER: &str = "# dimmunix-history v1";
+/// Magic first line of a history file (current version, always written).
+const HEADER: &str = "# dimmunix-history v2";
+/// The pre-provenance format's header, still accepted on load.
+const HEADER_V1: &str = "# dimmunix-history v1";
 
 /// Errors produced while loading or saving a history file.
 #[derive(Debug)]
@@ -131,14 +140,28 @@ impl History {
     }
 
     /// Adds a signature for the given stack multiset unless an identical one
-    /// already exists ("duplicate signatures are disallowed", §5.3).
+    /// already exists ("duplicate signatures are disallowed", §5.3). The
+    /// provenance defaults to the one implied by `kind` (a suffered cycle).
     ///
     /// Returns the new signature, or `None` if it was a duplicate.
     pub fn add(
         &self,
         kind: CycleKind,
+        stack_ids: Vec<StackId>,
+        depth: u8,
+    ) -> Option<Arc<Signature>> {
+        self.add_with_provenance(kind, stack_ids, depth, Provenance::default_for(kind))
+    }
+
+    /// [`History::add`] with an explicit provenance tag — the predictor's
+    /// archival path. Deduplication ignores provenance: a pattern already
+    /// suffered (or already predicted) is not re-added.
+    pub fn add_with_provenance(
+        &self,
+        kind: CycleKind,
         mut stack_ids: Vec<StackId>,
         depth: u8,
+        provenance: Provenance,
     ) -> Option<Arc<Signature>> {
         stack_ids.sort_unstable();
         let mut guard = self.sigs.write();
@@ -149,7 +172,9 @@ impl History {
             u32::try_from(self.next_id.fetch_add(1, Ordering::Relaxed))
                 .expect("more than u32::MAX signatures"),
         );
-        let sig = Arc::new(Signature::new(id, kind, stack_ids, depth));
+        let sig = Arc::new(Signature::with_provenance(
+            id, kind, stack_ids, depth, provenance,
+        ));
         let mut new_list = Vec::with_capacity(guard.len() + 1);
         new_list.extend(guard.iter().cloned());
         new_list.push(Arc::clone(&sig));
@@ -256,8 +281,9 @@ impl History {
             for sig in self.snapshot().iter() {
                 writeln!(
                     w,
-                    "signature kind={} depth={} disabled={} avoided={} aborts={}",
+                    "signature kind={} provenance={} depth={} disabled={} avoided={} aborts={}",
                     sig.kind,
+                    sig.provenance,
                     sig.depth(),
                     u8::from(sig.is_disabled()),
                     sig.avoided(),
@@ -309,13 +335,14 @@ impl History {
             .transpose()?
             .ok_or_else(|| parse_err(1, "empty history file"))?;
         lineno += 1;
-        if first.trim() != HEADER {
+        if first.trim() != HEADER && first.trim() != HEADER_V1 {
             return Err(parse_err(lineno, format!("bad header {first:?}")));
         }
 
         #[derive(Default)]
         struct Pending {
             kind: Option<CycleKind>,
+            provenance: Option<Provenance>,
             depth: u8,
             disabled: bool,
             avoided: u64,
@@ -353,6 +380,11 @@ impl History {
                                 "starvation" => CycleKind::Starvation,
                                 _ => return Err(parse_err(lineno, format!("bad kind {v:?}"))),
                             })
+                        }
+                        "provenance" => {
+                            p.provenance = Some(Provenance::parse(v).ok_or_else(|| {
+                                parse_err(lineno, format!("bad provenance {v:?}"))
+                            })?)
                         }
                         "depth" => p.depth = parse_num(v, lineno)?,
                         "disabled" => p.disabled = parse_num::<u8>(v, lineno)? != 0,
@@ -406,7 +438,13 @@ impl History {
                 if p.stacks.is_empty() {
                     return Err(parse_err(lineno, "signature with no stacks"));
                 }
-                if let Some(sig) = self.add(kind, p.stacks, p.depth) {
+                // v1 signatures (no provenance attribute) default to the
+                // provenance implied by their kind: v1 histories only ever
+                // held suffered cycles.
+                let provenance = p
+                    .provenance
+                    .unwrap_or_else(|| Provenance::default_for(kind));
+                if let Some(sig) = self.add_with_provenance(kind, p.stacks, p.depth, provenance) {
                     sig.set_disabled(p.disabled);
                     sig.set_avoided(p.avoided);
                     for _ in 0..p.aborts {
@@ -429,7 +467,9 @@ impl History {
         let mut buf = Vec::new();
         buf.extend_from_slice(HEADER.as_bytes());
         for sig in self.snapshot().iter() {
-            buf.extend_from_slice(b"\nsignature kind=XXXXXXXX depth=XX disabled=X");
+            buf.extend_from_slice(
+                b"\nsignature kind=XXXXXXXX provenance=XXXXXXXXX depth=XX disabled=X",
+            );
             for &stack_id in sig.stacks.iter() {
                 let stack = stacks.resolve(stack_id);
                 buf.extend_from_slice(b"\nstack NN");
@@ -634,6 +674,111 @@ mod tests {
         assert_eq!(h.merge_file(&path, &env.frames, &env.stacks).unwrap(), 0);
         assert_eq!(h.len(), 1);
 
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_roundtrips_all_three_provenance_tags() {
+        let env = Env::new();
+        let path = std::env::temp_dir().join(format!("dimmunix-prov-{}.dlk", std::process::id()));
+
+        let h = History::new();
+        h.add_with_provenance(
+            CycleKind::Deadlock,
+            vec![env.stack(&[1, 2]), env.stack(&[2, 1])],
+            4,
+            Provenance::Detected,
+        )
+        .unwrap();
+        h.add_with_provenance(
+            CycleKind::Starvation,
+            vec![env.stack(&[3, 4]), env.stack(&[4, 3])],
+            2,
+            Provenance::Starved,
+        )
+        .unwrap();
+        h.add_with_provenance(
+            CycleKind::Deadlock,
+            vec![env.stack(&[5, 6]), env.stack(&[6, 5])],
+            4,
+            Provenance::Predicted,
+        )
+        .unwrap();
+        h.save_to(&path, &env.frames, &env.stacks).unwrap();
+
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("# dimmunix-history v2"));
+        for tag in ["detected", "starved", "predicted"] {
+            assert!(
+                written.contains(&format!("provenance={tag}")),
+                "missing provenance={tag} in:\n{written}"
+            );
+        }
+
+        let env2 = Env::new();
+        let h2 = History::open(&path, &env2.frames, &env2.stacks).unwrap();
+        assert_eq!(h2.len(), 3);
+        let snap = h2.snapshot();
+        let provs: Vec<Provenance> = snap.iter().map(|s| s.provenance).collect();
+        assert!(provs.contains(&Provenance::Detected));
+        assert!(provs.contains(&Provenance::Starved));
+        assert!(provs.contains(&Provenance::Predicted));
+        // The predicted vaccine keeps its kind (it anticipates a deadlock).
+        let p = snap
+            .iter()
+            .find(|s| s.provenance == Provenance::Predicted)
+            .unwrap();
+        assert_eq!(p.kind, CycleKind::Deadlock);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_file_loads_with_default_provenance() {
+        let env = Env::new();
+        let path = std::env::temp_dir().join(format!("dimmunix-v1-{}.dlk", std::process::id()));
+        std::fs::write(
+            &path,
+            "# dimmunix-history v1\n\
+             signature kind=deadlock depth=4 disabled=0 avoided=2 aborts=0\n\
+             stack 1\nframe a|x.rs|1\nstack 1\nframe b|x.rs|2\nend\n\
+             signature kind=starvation depth=2 disabled=0 avoided=0 aborts=0\n\
+             stack 1\nframe c|x.rs|3\nstack 1\nframe d|x.rs|4\nend\n",
+        )
+        .unwrap();
+        let h = History::open(&path, &env.frames, &env.stacks).unwrap();
+        assert_eq!(h.len(), 2);
+        let snap = h.snapshot();
+        let d = snap.iter().find(|s| s.kind == CycleKind::Deadlock).unwrap();
+        assert_eq!(d.provenance, Provenance::Detected);
+        assert_eq!(d.avoided(), 2);
+        let s = snap
+            .iter()
+            .find(|s| s.kind == CycleKind::Starvation)
+            .unwrap();
+        assert_eq!(s.provenance, Provenance::Starved);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_provenance_reports_its_line() {
+        let env = Env::new();
+        let path =
+            std::env::temp_dir().join(format!("dimmunix-badprov-{}.dlk", std::process::id()));
+        // The bad attribute sits on line 3.
+        std::fs::write(
+            &path,
+            "# dimmunix-history v2\n\n\
+             signature kind=deadlock provenance=banana depth=4\n\
+             stack 1\nframe a|x.rs|1\nend\n",
+        )
+        .unwrap();
+        let h = History::new();
+        match h.merge_file(&path, &env.frames, &env.stacks) {
+            Err(HistoryError::Parse { line: 3, msg }) => {
+                assert!(msg.contains("provenance"), "unexpected message {msg:?}");
+            }
+            other => panic!("expected provenance parse error at line 3, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,5 +38,5 @@ pub use calibration::{CalibrationConfig, CalibrationState, CalibrationUpdate, Ph
 pub use frame::{Frame, FrameId, FrameTable};
 pub use history::{History, HistoryError};
 pub use match_index::{BucketLayout, Candidate, CandidateSet, CoverKeys, MatchIndex, MemberKey};
-pub use signature::{CycleKind, SigId, Signature};
+pub use signature::{CycleKind, Provenance, SigId, Signature};
 pub use stack::{suffix_matches, suffix_of, CallStack, StackId, StackTable};

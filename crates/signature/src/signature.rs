@@ -28,6 +28,56 @@ impl fmt::Display for CycleKind {
     }
 }
 
+/// How a signature entered the history.
+///
+/// The paper's monitor archives a signature only after *suffering* the
+/// cycle (deadlock or induced starvation). The prediction subsystem
+/// additionally synthesizes signatures from lock-order-graph analysis of
+/// runs that never deadlocked; the provenance tag keeps those vaccines
+/// distinguishable — reportable, prunable by the same false-positive
+/// calibration, and shippable as files with their origin intact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Provenance {
+    /// Captured from a real deadlock cycle found in the RAG.
+    Detected,
+    /// Captured from an avoidance-induced starvation (yield) cycle.
+    Starved,
+    /// Synthesized by the lock-order-graph deadlock predictor before any
+    /// cycle ever manifested.
+    Predicted,
+}
+
+impl Provenance {
+    /// The provenance a pre-provenance (history v1) signature of `kind`
+    /// defaults to: v1 histories only ever held suffered cycles.
+    pub fn default_for(kind: CycleKind) -> Self {
+        match kind {
+            CycleKind::Deadlock => Provenance::Detected,
+            CycleKind::Starvation => Provenance::Starved,
+        }
+    }
+
+    /// Parses the on-disk attribute value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "detected" => Some(Provenance::Detected),
+            "starved" => Some(Provenance::Starved),
+            "predicted" => Some(Provenance::Predicted),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Detected => write!(f, "detected"),
+            Provenance::Starved => write!(f, "starved"),
+            Provenance::Predicted => write!(f, "predicted"),
+        }
+    }
+}
+
 /// Identifier of a signature within one [`crate::History`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SigId(pub u32);
@@ -54,6 +104,8 @@ pub struct Signature {
     /// Sorted multiset of the member call stacks (one per thread in the
     /// captured cycle).
     pub stacks: Box<[StackId]>,
+    /// How this signature entered the history (suffered vs. predicted).
+    pub provenance: Provenance,
     /// Current matching depth (how long a suffix of each stack to compare).
     depth: AtomicU8,
     /// Disabled signatures are never avoided again (user opt-out, §5.7).
@@ -69,13 +121,26 @@ pub struct Signature {
 
 impl Signature {
     /// Creates a signature over `stacks` with the given initial matching
-    /// depth. The stack list is sorted into canonical multiset order.
-    pub fn new(id: SigId, kind: CycleKind, mut stacks: Vec<StackId>, depth: u8) -> Self {
+    /// depth and the default provenance for `kind` (a suffered cycle).
+    pub fn new(id: SigId, kind: CycleKind, stacks: Vec<StackId>, depth: u8) -> Self {
+        Self::with_provenance(id, kind, stacks, depth, Provenance::default_for(kind))
+    }
+
+    /// Creates a signature with an explicit provenance tag. The stack list
+    /// is sorted into canonical multiset order.
+    pub fn with_provenance(
+        id: SigId,
+        kind: CycleKind,
+        mut stacks: Vec<StackId>,
+        depth: u8,
+        provenance: Provenance,
+    ) -> Self {
         stacks.sort_unstable();
         Self {
             id,
             kind,
             stacks: stacks.into_boxed_slice(),
+            provenance,
             depth: AtomicU8::new(depth),
             disabled: AtomicBool::new(false),
             avoided: AtomicU64::new(0),
@@ -150,6 +215,7 @@ impl fmt::Debug for Signature {
         f.debug_struct("Signature")
             .field("id", &self.id)
             .field("kind", &self.kind)
+            .field("provenance", &self.provenance)
             .field("stacks", &self.stacks)
             .field("depth", &self.depth())
             .field("disabled", &self.is_disabled())
@@ -187,6 +253,30 @@ mod tests {
             4,
         );
         assert_eq!(s.size(), 2);
+    }
+
+    #[test]
+    fn provenance_defaults_follow_kind() {
+        let d = Signature::new(SigId(0), CycleKind::Deadlock, vec![StackId(1)], 4);
+        assert_eq!(d.provenance, Provenance::Detected);
+        let s = Signature::new(SigId(1), CycleKind::Starvation, vec![StackId(1)], 4);
+        assert_eq!(s.provenance, Provenance::Starved);
+        let p = Signature::with_provenance(
+            SigId(2),
+            CycleKind::Deadlock,
+            vec![StackId(1)],
+            4,
+            Provenance::Predicted,
+        );
+        assert_eq!(p.provenance, Provenance::Predicted);
+        for prov in [
+            Provenance::Detected,
+            Provenance::Starved,
+            Provenance::Predicted,
+        ] {
+            assert_eq!(Provenance::parse(&prov.to_string()), Some(prov));
+        }
+        assert_eq!(Provenance::parse("banana"), None);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! | [`hsqldb`] | Limewire 4.17.9 | #1449 — TaskQueue cancel vs shutdown |
 //! | [`activemq`] | ActiveMQ 3.1 / 4.0 | #336, #575 |
 //! | [`collections`] | Java JDK 1.6 | Table 2 synchronized-class deadlocks |
+//!
+//! [`prediction`] is different in kind: a synthetic two-lock inversion
+//! (plus a gate-locked variant) used to demonstrate *first-run immunity* —
+//! the lock-order predictor vaccinating the history before the deadlock
+//! ever fires — rather than to reproduce a reported bug.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +32,7 @@ pub mod hawknl;
 pub mod hsqldb;
 pub mod jdbc;
 pub mod mysql;
+pub mod prediction;
 pub mod sqlite;
 
 use dimmunix_core::{Config, Runtime};

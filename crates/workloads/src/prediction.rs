@@ -1,0 +1,248 @@
+//! First-run immunity: the proactive-prediction demonstration workload.
+//!
+//! Unlike the Table 1 reproductions — which must *suffer* their deadlock
+//! once before Dimmunix develops immunity — this scenario exists to show
+//! the lock-order-graph predictor vaccinating the history **before the
+//! first deadlock ever fires**. Two threads repeatedly run a classic
+//! two-lock inversion (`A→B` vs. `B→A`) behind shared call scopes. Under
+//! most schedules the early iterations interleave benignly; those benign
+//! nested acquisitions are exactly what the monitor's predictor needs to
+//! record both lock-order edges, synthesize the `predicted`-provenance
+//! signature, and arm the avoidance engine — so when a later iteration
+//! finally lines up the deadly overlap, the request yields instead of
+//! deadlocking.
+//!
+//! The [`GATED`] variant wraps every nested section in one shared gate
+//! lock: the same order cycle exists in the graph, but it can never
+//! manifest, and the predictor's guard-set analysis must suppress it (no
+//! false vaccine, no spurious yields).
+
+use crate::{run_once, Workload};
+use dimmunix_core::{
+    Config, FrameTable, History, PredictionConfig, Provenance, Runtime, StackTable,
+};
+use dimmunix_threadsim::{Outcome, RunReport, Script, Sim};
+use std::ops::Range;
+
+/// Iterations of the inversion per thread: enough that benign iterations
+/// usually precede the deadly overlap.
+const ITERS: usize = 6;
+
+/// One nested `first → second` critical section under a named call scope.
+fn inversion(
+    scope: &'static str,
+    first: dimmunix_threadsim::LockHandle,
+    first_site: &'static str,
+    second: dimmunix_threadsim::LockHandle,
+    second_site: &'static str,
+) -> Script {
+    Script::new()
+        .scoped(scope, |s| {
+            s.lock_at(first, first_site)
+                .compute(2)
+                .lock_at(second, second_site)
+                .compute(1)
+                .unlock(second)
+                .unlock(first)
+        })
+        .compute(2)
+}
+
+fn build(sim: &mut Sim) {
+    let a = sim.lock_handle("A");
+    let b = sim.lock_handle("B");
+    sim.spawn(
+        "ab",
+        Script::new().repeat(
+            ITERS,
+            inversion("transfer_ab", a, "ab:outer", b, "ab:inner"),
+        ),
+    );
+    sim.spawn(
+        "ba",
+        Script::new().repeat(
+            ITERS,
+            inversion("transfer_ba", b, "ba:outer", a, "ba:inner"),
+        ),
+    );
+}
+
+fn build_gated(sim: &mut Sim) {
+    let a = sim.lock_handle("A");
+    let b = sim.lock_handle("B");
+    let gate = sim.lock_handle("G");
+    let gated = |scope, first, fs, second, ss| {
+        Script::new()
+            .lock_at(gate, "gate")
+            .then(inversion(scope, first, fs, second, ss))
+            .unlock(gate)
+    };
+    sim.spawn(
+        "ab",
+        Script::new().repeat(ITERS, gated("transfer_ab", a, "ab:outer", b, "ab:inner")),
+    );
+    sim.spawn(
+        "ba",
+        Script::new().repeat(ITERS, gated("transfer_ba", b, "ba:outer", a, "ba:inner")),
+    );
+}
+
+/// The unguarded inversion: deadlocks under some schedules, predictable
+/// from any benign one.
+pub const WORKLOAD: Workload = Workload {
+    system: "synthetic",
+    bug_id: "predict-ab-ba",
+    description: "two-lock inversion, exercised benignly before the deadly overlap",
+    expected_patterns: 1,
+    expected_depths: &[2],
+    build,
+};
+
+/// The same inversion under one shared gate lock: never deadlocks, and the
+/// predictor must not vaccinate it.
+pub const GATED: Workload = Workload {
+    system: "synthetic",
+    bug_id: "predict-gated",
+    description: "gate-locked inversion — an unmanifestable order cycle",
+    expected_patterns: 0,
+    expected_depths: &[],
+    build: build_gated,
+};
+
+/// Default runtime configuration with proactive prediction enabled.
+pub fn prediction_config() -> Config {
+    Config {
+        prediction: Some(PredictionConfig::default()),
+        ..Config::default()
+    }
+}
+
+/// A successful first-run-immunity demonstration (see [`demonstrate`]).
+#[derive(Clone, Debug)]
+pub struct Demonstration {
+    /// The schedule seed.
+    pub seed: u64,
+    /// The run on a fresh, history-less runtime with prediction disabled:
+    /// it deadlocked.
+    pub baseline: RunReport,
+    /// The identical seed on a fresh runtime with prediction enabled: it
+    /// completed, yielding away from the predicted pattern.
+    pub immunized: RunReport,
+    /// `predicted`-provenance signatures in the immunized runtime's
+    /// history after the run.
+    pub predicted_signatures: usize,
+    /// `predicted`-provenance signatures surviving a save → reload round
+    /// trip of the history file (the shippable vaccine).
+    pub saved_predicted: usize,
+}
+
+/// Hunts `seeds` for a schedule that **deadlocks** on a fresh empty-history
+/// runtime with prediction disabled, yet **completes** (with ≥ 1 predicted
+/// vaccine archived mid-run) on an equally fresh runtime with prediction
+/// enabled — first-run immunity, no deadlock ever suffered.
+///
+/// Returns `None` when no seed in the range demonstrates both halves
+/// (deterministic per seed, so CI can pin a range).
+pub fn demonstrate(seeds: Range<u64>) -> Option<Demonstration> {
+    for seed in seeds {
+        let baseline_rt = Runtime::new(Config::default()).expect("in-memory runtime");
+        let baseline = run_once(&baseline_rt, &WORKLOAD, seed);
+        if !matches!(baseline.outcome, Outcome::Deadlock { .. }) {
+            continue;
+        }
+        let rt = Runtime::new(prediction_config()).expect("in-memory runtime");
+        let immunized = run_once(&rt, &WORKLOAD, seed);
+        let predicted_signatures = count_predicted(rt.history());
+        if !immunized.completed() || predicted_signatures == 0 {
+            // The overlap struck before any benign iteration taught the
+            // predictor; online prediction cannot help this schedule.
+            continue;
+        }
+        // The vaccine must survive shipping: save the history file and
+        // reload it into a fresh universe.
+        let path = std::env::temp_dir().join(format!(
+            "dimmunix-predict-demo-{}-{seed}.dlk",
+            std::process::id()
+        ));
+        rt.history()
+            .save_to(&path, rt.frame_table(), rt.stack_table())
+            .expect("history save");
+        let frames = FrameTable::new();
+        let stacks = StackTable::new();
+        let reloaded = History::open(&path, &frames, &stacks).expect("history reload");
+        let saved_predicted = count_predicted(&reloaded);
+        std::fs::remove_file(&path).ok();
+        return Some(Demonstration {
+            seed,
+            baseline,
+            immunized,
+            predicted_signatures,
+            saved_predicted,
+        });
+    }
+    None
+}
+
+fn count_predicted(history: &History) -> usize {
+    history
+        .snapshot()
+        .iter()
+        .filter(|s| s.provenance == Provenance::Predicted)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_exploits;
+
+    #[test]
+    fn exploit_exists() {
+        assert!(
+            !find_exploits(&WORKLOAD, 0..512, 1).is_empty(),
+            "the unguarded inversion must deadlock under some schedule"
+        );
+    }
+
+    #[test]
+    fn first_run_immunity_is_demonstrated() {
+        let d = demonstrate(0..4096).expect("some seed demonstrates first-run immunity");
+        assert!(matches!(d.baseline.outcome, Outcome::Deadlock { .. }));
+        assert!(d.immunized.completed(), "{d:?}");
+        // Completion under an identical schedule requires at least one
+        // yield: the runs only diverge at the first avoided request.
+        assert!(d.immunized.yields >= 1, "{d:?}");
+        assert_eq!(d.immunized.deadlocks_detected, 0, "{d:?}");
+        assert!(d.predicted_signatures >= 1, "{d:?}");
+        assert!(d.saved_predicted >= 1, "{d:?}");
+    }
+
+    /// Differential guard-suppression test: the gate-locked variant runs
+    /// identically with prediction on and off — completed, no yields, no
+    /// signatures — while the predictor visibly suppresses the cycle.
+    #[test]
+    fn gate_locked_cycle_is_never_vaccinated() {
+        for seed in 0..48 {
+            let rt_on = Runtime::new(prediction_config()).unwrap();
+            let on = run_once(&rt_on, &GATED, seed);
+            assert!(
+                on.completed(),
+                "seed {seed}: gated workload cannot deadlock"
+            );
+            assert_eq!(on.yields, 0, "seed {seed}: no vaccine, no yields");
+            assert!(rt_on.history().is_empty(), "seed {seed}: no false vaccine");
+            let stats = rt_on.stats();
+            assert_eq!(stats.predicted_signatures, 0, "seed {seed}");
+            assert!(
+                stats.prediction_guard_suppressed >= 1,
+                "seed {seed}: the suppressed cycle must be visible: {stats:?}"
+            );
+
+            let rt_off = Runtime::new(Config::default()).unwrap();
+            let off = run_once(&rt_off, &GATED, seed);
+            assert!(off.completed(), "seed {seed}");
+            assert_eq!(off.yields, 0, "seed {seed}");
+            assert!(rt_off.history().is_empty(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Proactive immunity, end to end through the public API.
+//!
+//! 1. Find a schedule of the two-lock-inversion workload that deadlocks a
+//!    fresh, history-less runtime (prediction off).
+//! 2. Replay the identical schedule with the lock-order predictor enabled:
+//!    benign early iterations teach the order graph, the monitor archives
+//!    a `predicted`-provenance signature mid-run, and the run completes
+//!    without ever deadlocking — first-run immunity.
+//! 3. Save that history file and **vaccinate** a completely fresh runtime
+//!    (prediction off, different interners) with it, the paper's §8
+//!    vendor-shipped-vaccine flow: the new installation survives the
+//!    deadly schedule on its very first run, having neither suffered nor
+//!    even predicted the deadlock itself.
+//!
+//! Run with: `cargo run --example predictive_immunity`
+
+use dimmunix::{Config, Runtime};
+use dimmunix_workloads::prediction::{self, WORKLOAD};
+use dimmunix_workloads::run_once;
+
+fn main() {
+    // Steps 1 + 2: hunt a seed whose baseline deadlocks and whose
+    // prediction-enabled replay completes with a vaccine archived.
+    let d = prediction::demonstrate(0..4096).expect("a demonstrating seed exists");
+    println!(
+        "seed {}: baseline {:?}; with prediction: {:?} ({} yield(s), {} predicted signature(s))",
+        d.seed, d.baseline.outcome, d.immunized.outcome, d.immunized.yields, d.predicted_signatures,
+    );
+
+    // Re-run the immunized configuration to hold a history we can ship.
+    let factory = Runtime::new(prediction::prediction_config()).expect("runtime");
+    let report = run_once(&factory, &WORKLOAD, d.seed);
+    assert!(report.completed(), "prediction-enabled run completes");
+    let vaccine = std::env::temp_dir().join(format!(
+        "dimmunix-predictive-immunity-{}.dlk",
+        std::process::id()
+    ));
+    factory
+        .history()
+        .save_to(&vaccine, factory.frame_table(), factory.stack_table())
+        .expect("save vaccine file");
+
+    // Step 3: a fresh installation — prediction off, empty history —
+    // receives the shipped file and survives the deadly schedule on its
+    // first run.
+    let fresh = Runtime::new(Config::default()).expect("runtime");
+    let unprotected = run_once(&fresh, &WORKLOAD, d.seed);
+    println!(
+        "fresh installation, unvaccinated: {:?}",
+        unprotected.outcome
+    );
+
+    let fresh = Runtime::new(Config::default()).expect("runtime");
+    let added = fresh.vaccinate(&vaccine).expect("merge vaccine file");
+    println!("vaccinated a fresh runtime with {added} shipped signature(s)");
+    let protected = run_once(&fresh, &WORKLOAD, d.seed);
+    println!(
+        "fresh installation, vaccinated:   {:?} ({} yield(s))",
+        protected.outcome, protected.yields
+    );
+    assert!(
+        protected.completed(),
+        "the shipped predicted vaccine must protect the first run"
+    );
+    std::fs::remove_file(&vaccine).ok();
+    println!("ok: predicted vaccine shipped and effective on first run");
+}

@@ -20,6 +20,7 @@
 //! | [`core`](dimmunix_core) | avoidance engine, monitor, lock types, runtime |
 //! | [`rag`](dimmunix_rag) | resource allocation graph + cycle detectors |
 //! | [`signature`](dimmunix_signature) | signatures, history, calibration |
+//! | [`predict`](dimmunix_predict) | proactive lock-order-graph deadlock prediction |
 //! | [`lockfree`](dimmunix_lockfree) | MPSC event queue, Peterson locks |
 //! | [`threadsim`](dimmunix_threadsim) | deterministic interleaving simulator |
 //! | `dimmunix-workloads` | the paper's Table 1 / Table 2 bug reproductions |
@@ -70,4 +71,9 @@ pub mod lockfree {
 /// Re-export of the signature/history machinery.
 pub mod signature {
     pub use dimmunix_signature::*;
+}
+
+/// Re-export of the proactive deadlock-prediction subsystem.
+pub mod predict {
+    pub use dimmunix_predict::*;
 }

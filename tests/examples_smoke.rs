@@ -1,4 +1,4 @@
-//! Smoke test: all five examples build, and `quickstart` runs end-to-end
+//! Smoke test: all six examples build, and `quickstart` runs end-to-end
 //! in a child process with exit code 0.
 
 use std::path::{Path, PathBuf};
@@ -38,6 +38,7 @@ fn examples_build_and_quickstart_runs() {
     for name in [
         "bank_transfer",
         "message_broker",
+        "predictive_immunity",
         "quickstart",
         "rag_inspector",
         "storage_engine",
