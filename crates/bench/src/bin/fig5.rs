@@ -77,6 +77,7 @@ fn main() {
                     stats.predicted_signatures,
                     stats.prediction_guard_suppressed
                 ),
+                dimmunix_bench::report::rebuild_cell(&stats),
             ]);
             rt.shutdown();
             rows.push(vec![
@@ -108,6 +109,7 @@ fn main() {
                 "Hot bucket peak",
                 "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
                 "Prediction [edges cycles sigs guard-suppr]",
+                "Rebuild µs hist [1 4 16 64 256 1k 4k inf]",
             ],
             &lag_rows,
         );

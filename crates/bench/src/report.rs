@@ -80,6 +80,29 @@ pub fn num(x: f64) -> String {
     }
 }
 
+/// Compact one-cell rendering of the rebuild-latency gauges: count, worst
+/// latency and histogram for the delta path, then the full path. Histogram
+/// bin upper bounds are [`dimmunix_core::REBUILD_US_BINS`] (µs, last bin
+/// unbounded) — a population shifting right, or delta counts turning into
+/// full counts, is a rebuild-stall regression.
+pub fn rebuild_cell(s: &dimmunix_core::StatsSnapshot) -> String {
+    let hist = |h: &[u64; dimmunix_core::REBUILD_BINS]| {
+        h.iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    format!(
+        "delta n={} max={}us [{}] / full n={} max={}us [{}]",
+        s.rebuilds_delta,
+        s.rebuild_us_delta_max,
+        hist(&s.rebuild_us_delta_hist),
+        s.rebuilds_full,
+        s.rebuild_us_full_max,
+        hist(&s.rebuild_us_full_hist),
+    )
+}
+
 /// Compact one-cell rendering of a bucket-occupancy skew snapshot:
 /// `buckets=N live=M hot=H [c0 c1 c2-3 c4-7 c8-15 c16-31 c32-63 c64+]`.
 pub fn skew_cell(skew: &dimmunix_core::OccupancySkew) -> String {

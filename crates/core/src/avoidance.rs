@@ -60,19 +60,60 @@
 //! the whole matching path is a read-only precheck plus one single-bucket
 //! CAS-claimed insert of the requester's own entry.
 //!
-//! # Rebuild protocol
+//! # Rebuild protocol: publish-then-patch, with publish-then-sweep fallback
 //!
 //! When the history generation moves, a single rebuilder (the monitor, or
-//! the first hook that notices — serialized by the rebuild mutex) builds a
-//! *fresh* `MatchTable` and index, publishes the new view, then sweeps
-//! every per-thread log — under that thread's slot mutex — into the fresh
-//! buckets, and finally marks the table swept. Publication-before-sweep
-//! closes the race with guardless fast-path appends: an append either
-//! happens before the sweep visits its slot (the sweep merges it) or after
-//! (the slot-mutex hand-off guarantees the thread already observed the new
-//! view). Decisions and direct bucket inserts wait for the swept flag, so
-//! they only ever run against a complete table; the old table becomes
-//! garbage once the last reader drops its cached view.
+//! the first hook that notices — serialized by the rebuild mutex) advances
+//! the match state along one of two paths:
+//!
+//! * **Delta patch** — the common case under live vaccination, taken when
+//!   the history's delta journal proves every intervening generation was a
+//!   pure signature *append* ([`History::delta_since`]). `BucketLayout`
+//!   slot assignment is append-stable, so the rebuilder *extends* the
+//!   layout and index (new `(depth, suffix)` keys take slots past the old
+//!   length; surviving slots are never renumbered) and builds an extended
+//!   table that **shares** every surviving [`VersionedBucket`], the
+//!   occupancy-fingerprint array, and the non-empty counter with the old
+//!   table — nothing is cloned, live entries and their sequence words
+//!   survive. It publishes the new view, then *patches* instead of
+//!   sweeping: a per-thread log is visited only when its **tail filter**
+//!   (a 64-bit bloom over the innermost frame of every entry appended to
+//!   it — and the innermost frame is part of every depth's suffix, so a
+//!   miss is a proof) intersects the new keys' filter, and a visited log
+//!   inserts only entries matching a *new* key, because surviving buckets
+//!   are already complete. Finally the table is marked swept.
+//! * **Full rebuild** — the fallback for structural history changes
+//!   (removal, disable, merge, a depth-recalibration touch), for layout
+//!   growth past the inherited occupancy array (which re-sizes it —
+//!   amortized doubling), and for a truncated delta journal: build a
+//!   fresh `MatchTable` + index, publish, then sweep every per-thread log
+//!   into the fresh buckets.
+//!
+//! The happens-before argument is the same for patch and sweep:
+//! publication-before-patch closes the race with guardless fast-path
+//! appends, because an append either happens before the patch visits its
+//! slot (the visit reads it from the log and buckets it if it matches a
+//! new key) or after (the slot-mutex hand-off guarantees the appending
+//! thread already observed the new view — and its insert lands in the
+//! shared buckets directly, which delta makes safe precisely because the
+//! surviving buckets are the same objects). Decisions and direct bucket
+//! inserts wait for the swept flag, so they only ever run against a
+//! complete table. Releases need no flag: a release pops its log entry
+//! under the slot mutex first, so the patch visit either runs after the
+//! pop (nothing left to insert) or before it (the entry is bucketed and
+//! the release's subsequent view-current removal targets that same shared
+//! bucket). A full rebuild's old table becomes garbage once the last
+//! reader drops its cached view; a delta's old table shares its storage
+//! with the new one, so retiring it frees only the view shell.
+//!
+//! The engine-internal lock order is `rebuild mutex → slot (allowed-log)
+//! mutex → bucket sequence claim`: rebuilds hold the rebuild mutex and
+//! take slot mutexes one at a time, hooks bucket their own entries with
+//! the slot mutex held, and the bounded-retry cover fallback (below)
+//! claims every bucket in ascending slot order while holding its own slot
+//! mutex. No holder of a bucket claim ever takes a mutex of an earlier
+//! tier, and bucket claims are only held in ascending order or singly, so
+//! the order is acyclic.
 //!
 //! # No-lost-wakeup protocol (lock-free)
 //!
@@ -103,10 +144,19 @@
 //! other's in-flight entries would have completed — the same
 //! monitor-detectable window the paper already tolerates for yield cycles
 //! (§3); the differential proptest pins the sequential semantics to
-//! [`crate::reference::ReferenceCore`] exactly (the snapshot copies read
-//! in bucket-slot order, and [`VersionedBucket`] preserves `Vec`
-//! push/`swap_remove` order, so lockstep decision streams stay
-//! byte-identical).
+//! [`crate::reference::ReferenceCore`] exactly. Because a delta patch
+//! preserves surviving buckets' temporal entry order while a full rebuild
+//! re-inserts in sweep order, bucket storage order is deliberately *not*
+//! load-bearing: every cover search canonically sorts its snapshots by
+//! `(thread, lock, stack)` before solving, the reference engine sorts the
+//! same way, and lockstep decision streams stay byte-identical. After a
+//! validation-failure budget ([`Config::cover_retry_limit`]) the retry
+//! loop falls back to deciding while *holding* every bucket's write claim
+//! (ascending slot order) — the decision cannot be invalidated, the yield
+//! is registered before the claims drop (so a racing release's removal,
+//! which must claim the bucket, is ordered after the registration and its
+//! drain observes it), and the path becomes effectively wait-free under
+//! adversarial churn.
 //!
 //! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
 //! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
@@ -122,12 +172,12 @@ use crate::lanes::EventLanes;
 use crate::stats::Stats;
 use dimmunix_lockfree::{
     mix64, CachePadded, DrainVerdict, EpochCell, FilterLock, OccupancyArray, SlotAllocator,
-    TournamentLock, VersionedBucket, WakeList,
+    TournamentLock, VersionedBucket, WakeList, WakeNodePool,
 };
 use dimmunix_rag::{LockId, ThreadId, YieldCause};
 use dimmunix_signature::{
-    suffix_matches, suffix_of, BucketLayout, CallStack, CoverKeys, FrameId, History, MatchIndex,
-    MemberKey, Signature, StackId, StackTable,
+    suffix_matches, suffix_of, BucketLayout, CallStack, CoverKeys, FrameId, History, HistoryDelta,
+    MatchIndex, MemberKey, Signature, StackId, StackTable,
 };
 use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
@@ -231,13 +281,19 @@ impl OwnerTable {
 /// replaced wholesale on rebuild. No mutex anywhere: readers are
 /// optimistic, writers claim one bucket's sequence word with a CAS.
 pub(crate) struct MatchTable {
-    buckets: Box<[VersionedBucket<3>]>,
+    /// Per-slot buckets, individually `Arc`ed so a delta-extended table can
+    /// share the surviving buckets of its predecessor (live entries and
+    /// sequence words included) while appending fresh ones.
+    buckets: Box<[Arc<VersionedBucket<3>>]>,
     /// Per-bucket-slot occupancy fingerprints (see module docs): a slot
     /// counts the *non-empty buckets* mapping to it, maintained inside the
     /// bucket write sessions (bump before the first entry becomes visible,
     /// drop only after the last is removed), so a zero read always proves
     /// emptiness. Sized to the key count by default — collision-free.
-    occupancy: OccupancyArray,
+    /// Shared (`Arc`) with delta-extended successors: the surviving
+    /// buckets' counts must carry over, or a fresh array would manufacture
+    /// false empty-proofs.
+    occupancy: Arc<OccupancyArray>,
     /// Count of currently non-empty buckets (maintained on the same
     /// empty↔non-empty transitions as the fingerprints; padded so the
     /// toggling workloads don't share a line with the table header). Lets
@@ -246,20 +302,47 @@ pub(crate) struct MatchTable {
     /// other-member bucket is empty. That inference reads one fingerprint
     /// as *identifying* the non-empty bucket, so the engine only uses it
     /// when the fingerprints are collision-free (one slot per bucket —
-    /// the adaptive default); see [`MatchTable::exact_occupancy`].
-    nonempty: CachePadded<AtomicU32>,
-    /// Set once the rebuild sweep has merged every per-thread log; covers
-    /// and direct bucket inserts wait for it.
+    /// the adaptive default); see [`MatchTable::exact_occupancy`]. Shared
+    /// with delta-extended successors, like the fingerprints.
+    nonempty: Arc<CachePadded<AtomicU32>>,
+    /// Set once the rebuild sweep (or delta patch) has merged every
+    /// per-thread log; covers and direct bucket inserts wait for it.
     swept: AtomicBool,
 }
 
 impl MatchTable {
     fn new(buckets: usize, occupancy_slots: usize) -> Self {
         Self {
-            buckets: (0..buckets).map(|_| VersionedBucket::new()).collect(),
-            occupancy: OccupancyArray::new(occupancy_slots),
-            nonempty: CachePadded::new(AtomicU32::new(0)),
+            buckets: (0..buckets)
+                .map(|_| Arc::new(VersionedBucket::new()))
+                .collect(),
+            occupancy: Arc::new(OccupancyArray::new(occupancy_slots)),
+            nonempty: Arc::new(CachePadded::new(AtomicU32::new(0))),
             swept: AtomicBool::new(false),
+        }
+    }
+
+    /// A table for the delta-extended layout: shares every surviving
+    /// bucket, the occupancy fingerprints, and the non-empty counter with
+    /// `base`; slots `[base.len, new_len)` get fresh empty buckets. The
+    /// caller guarantees `new_len <= base.occupancy.len()`, which keeps
+    /// the shared fingerprints collision-free (slots index them
+    /// identically in both tables). Starts unswept iff there are new slots
+    /// to patch.
+    fn extended(base: &Self, new_len: usize) -> Self {
+        debug_assert!(new_len >= base.buckets.len());
+        debug_assert!(new_len <= base.occupancy.len());
+        debug_assert!(base.swept.load(Ordering::Acquire));
+        Self {
+            buckets: (0..new_len)
+                .map(|i| match base.buckets.get(i) {
+                    Some(b) => Arc::clone(b),
+                    None => Arc::new(VersionedBucket::new()),
+                })
+                .collect(),
+            occupancy: Arc::clone(&base.occupancy),
+            nonempty: Arc::clone(&base.nonempty),
+            swept: AtomicBool::new(new_len == base.buckets.len()),
         }
     }
 
@@ -462,6 +545,14 @@ struct AllowedLog {
     view_epoch: u64,
     /// Cached published view (`None` until first use).
     view: Option<Arc<MatchView>>,
+    /// Conservative bloom over the innermost frames of the entries in this
+    /// log: every append ORs in [`tail_bit`]; pops never clear bits (the
+    /// filter is recomputed exactly whenever a rebuild sweep or delta
+    /// patch visits the slot). Because the innermost frame is the last
+    /// element of *every* depth's suffix, a new bucket key whose suffix
+    /// bit misses this filter provably matches no entry here — the delta
+    /// patch skips the slot without resolving a single stack.
+    tail_filter: u64,
 }
 
 impl Default for AllowedLog {
@@ -470,7 +561,20 @@ impl Default for AllowedLog {
             entries: HashMap::new(),
             view_epoch: u64::MAX,
             view: None,
+            tail_filter: 0,
         }
+    }
+}
+
+/// The [`AllowedLog::tail_filter`] bit of an entry with these frames: one
+/// bit derived from the innermost (last) frame. An empty stack has no
+/// innermost frame and could match an empty suffix, so it conservatively
+/// sets every bit.
+#[inline]
+fn tail_bit(frames: &[FrameId]) -> u64 {
+    match frames.last() {
+        Some(&f) => 1_u64 << (mix64(u64::from(f.0)) & 63),
+        None => u64::MAX,
     }
 }
 
@@ -501,6 +605,13 @@ pub(crate) struct ThreadSlot {
     /// its outstanding registrations in O(1) (drainers discard
     /// stale-epoch nodes). Monotonic across slot reuse.
     wake_epoch: AtomicU64,
+    /// Free [`WakeList`] nodes recycled by this thread. The pool's
+    /// single-popper contract maps onto the engine's structure: only the
+    /// owner thread pops (its own yield registrations recycle from here),
+    /// while any drain of *another* thread's wake list pushes consumed
+    /// nodes into the **draining** thread's own pool. Steady-state
+    /// yield/wake churn thus allocates nothing.
+    wake_pool: WakeNodePool,
     /// Mirror of "this thread is registered as yielding", read by the
     /// owner thread to decide whether a GO must retract a registration.
     in_yielding: AtomicBool,
@@ -598,6 +709,7 @@ impl AvoidanceCore {
             let (drained, view) = {
                 let mut log = self.slots[slot].allowed.lock();
                 let drained: Vec<(LockId, Vec<StackId>)> = log.entries.drain().collect();
+                log.tail_filter = 0;
                 let view = Arc::clone(self.view_of(&mut log));
                 (drained, view)
             };
@@ -616,7 +728,7 @@ impl AvoidanceCore {
             // the max-yield bound rescues those yielders.
             self.slots[slot]
                 .wake_list
-                .drain(|_, _, _| DrainVerdict::Consume);
+                .drain_into(&self.slots[slot].wake_pool, |_, _, _| DrainVerdict::Consume);
         }
         self.lanes.push(slot, Event::ThreadExit { t });
         self.slot_alloc.release(slot);
@@ -670,6 +782,7 @@ impl AvoidanceCore {
         }
 
         let full = self.config.mode == RuntimeMode::Full;
+        let mut validation_failures = 0_u32;
         let instance = loop {
             let was_yielding = self.slots[slot].in_yielding.load(Ordering::Relaxed);
             let mut log = self.slots[slot].allowed.lock();
@@ -690,6 +803,23 @@ impl AvoidanceCore {
                     break None;
                 }
                 ViewCheck::Relevant(view) => {
+                    if full && validation_failures >= self.config.cover_retry_limit {
+                        // Adversarial churn kept invalidating the optimistic
+                        // decision; decide once and for all under bucket
+                        // write claims (a hit registers its yield before
+                        // the claims drop — no revalidation possible or
+                        // needed).
+                        match self.find_instance_locked(&view, slot, t, l, frames, stack) {
+                            None => {
+                                self.record_go(log, Some(&view), was_yielding, t, l, frames, stack);
+                                break None;
+                            }
+                            Some(inst) => {
+                                drop(log);
+                                break Some(inst);
+                            }
+                        }
+                    }
                     let found = if full {
                         self.find_instance(&view, slot, t, l, frames, stack)
                     } else {
@@ -718,6 +848,7 @@ impl AvoidanceCore {
                                     || !proof.still_valid(&view)
                                 {
                                     Stats::bump(&self.stats.hot(slot).cover_retries);
+                                    validation_failures += 1;
                                     self.remove_yielding(t);
                                     continue;
                                 }
@@ -822,6 +953,7 @@ impl AvoidanceCore {
         stack: StackId,
     ) {
         log.entries.entry(l).or_default().push(stack);
+        log.tail_filter |= tail_bit(frames);
         if let Some(view) = view {
             Self::insert_buckets(view, frames, AllowedEntry { t, l, stack });
         }
@@ -899,20 +1031,21 @@ impl AvoidanceCore {
             if !me.wake_list.is_empty() {
                 let hot = self.stats.hot(slot);
                 Stats::bump(&hot.wake_drains);
-                me.wake_list.drain(|key, yielder, epoch| {
-                    let y = yielder as usize;
-                    if self.slots[y].wake_epoch.load(Ordering::Acquire) != epoch {
-                        // Retracted or superseded registration.
-                        DrainVerdict::Consume
-                    } else if key == l.0 {
-                        wake.push(ThreadId(yielder));
-                        DrainVerdict::Consume
-                    } else {
-                        // Live registration against another of our locks.
-                        Stats::bump(&hot.wake_retained);
-                        DrainVerdict::Retain
-                    }
-                });
+                me.wake_list
+                    .drain_into(&me.wake_pool, |key, yielder, epoch| {
+                        let y = yielder as usize;
+                        if self.slots[y].wake_epoch.load(Ordering::Acquire) != epoch {
+                            // Retracted or superseded registration.
+                            DrainVerdict::Consume
+                        } else if key == l.0 {
+                            wake.push(ThreadId(yielder));
+                            DrainVerdict::Consume
+                        } else {
+                            // Live registration against another of our locks.
+                            Stats::bump(&hot.wake_retained);
+                            DrainVerdict::Retain
+                        }
+                    });
             }
         }
         Stats::bump(&self.stats.hot(t.0 as usize).releases);
@@ -1036,19 +1169,150 @@ impl AvoidanceCore {
         self.rebuild();
     }
 
-    /// Builds a fresh table + index for the current generation, publishes
-    /// the new view, then sweeps every per-thread log into the fresh
-    /// buckets. See the module docs for the publication-before-sweep
-    /// protocol. Callers must hold no other engine lock.
+    /// Advances the match state to the current history generation along
+    /// the cheapest sound path (see the module docs' rebuild protocol):
+    /// a delta patch when the history's journal proves the interval was
+    /// pure appends, a full rebuild otherwise. Callers must hold no other
+    /// engine lock.
     fn rebuild(&self) {
         let _g = self.rebuild_lock.lock();
         let gen = self.history.generation();
-        if self.view_cell.load().generation == gen {
+        let old = self.view_cell.load();
+        if old.generation == gen {
             // Raced with another rebuilder; its sweep finished before the
             // rebuild lock was handed over.
             return;
         }
         Stats::bump(&self.stats.rebuilds);
+        let start = std::time::Instant::now();
+        // The sentinel view (generation `u64::MAX`) predates any history:
+        // it must take the full path, and `delta_since` would misread its
+        // generation as "ahead of everything".
+        let delta = if old.generation == u64::MAX {
+            HistoryDelta::Structural
+        } else {
+            self.history.delta_since(old.generation)
+        };
+        let took_delta = match delta {
+            HistoryDelta::Appended(new_sigs) => self.delta_patch(&old, gen, &new_sigs),
+            HistoryDelta::Structural => false,
+        };
+        if took_delta {
+            Stats::bump(&self.stats.rebuilds_delta);
+        } else {
+            self.full_rebuild(gen);
+            Stats::bump(&self.stats.rebuilds_full);
+        }
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.stats.record_rebuild_us(took_delta, us);
+    }
+
+    /// The delta path: extends the old view's layout/index with the
+    /// appended signatures' new `(depth, suffix)` keys, builds a table
+    /// that shares every surviving bucket with the old one, publishes,
+    /// then *patches* — visits only per-thread logs whose tail filter
+    /// intersects the new keys', and inserts only entries landing in new
+    /// slots (surviving buckets are already complete). Returns `false`
+    /// (caller falls back to a full rebuild) when the extended layout
+    /// outgrows the inherited occupancy array. Holds the rebuild lock.
+    ///
+    /// A racing `add` may bump the history past `gen` while this runs;
+    /// that is benign — the published view just advertises an older
+    /// generation than it could, and the next rebuild's delta starts from
+    /// `gen`, re-deriving keys idempotently (extension dedups existing
+    /// keys, so already-covered appends degrade to publish-only).
+    fn delta_patch(&self, old: &Arc<MatchView>, gen: u64, new_sigs: &[Arc<Signature>]) -> bool {
+        let layout = Arc::new(BucketLayout::extended(&old.layout, new_sigs, &self.stacks));
+        if layout.len() > old.table.occupancy.len() {
+            // Out of inherited fingerprint slots: let the full rebuild
+            // re-size the array (amortized doubling via adaptive sizing).
+            return false;
+        }
+        let old_len = old.layout.len();
+        let index = match (&old.index, self.config.use_match_index) {
+            (Some(ix), true) => Some(Arc::new(MatchIndex::extended(
+                ix,
+                gen,
+                Arc::clone(&layout),
+                new_sigs,
+                &self.stacks,
+            ))),
+            // Mode flips mid-run don't happen (config is immutable), but a
+            // structurally absent index means extension has no base.
+            (None, true) => return false,
+            _ => None,
+        };
+        let depths: Vec<u8> = layout.depths().collect();
+        let table = Arc::new(MatchTable::extended(&old.table, layout.len()));
+        let patch_needed = layout.len() > old_len;
+        let view = Arc::new(MatchView {
+            generation: gen,
+            depths,
+            index,
+            table,
+            layout,
+        });
+        self.view_cell.publish(Arc::clone(&view));
+        if !patch_needed {
+            // Pure publish: the appended signatures introduced no new
+            // member key, so every bucket is already complete (the table
+            // was constructed swept). Cached views still need dropping.
+            for slot in self.slots.iter() {
+                let mut log = slot.allowed.lock();
+                log.view = None;
+                log.view_epoch = u64::MAX;
+            }
+            return true;
+        }
+        // The new keys' tail filter: a log whose filter misses it holds no
+        // entry whose innermost frame ends any new suffix, so no entry of
+        // that log can map to a new slot — skip it without resolving a
+        // single stack. (An entry can match a *currently irrelevant* old
+        // suffix, so the log filters accumulate over all entries, not just
+        // relevant ones.)
+        let new_filter = view
+            .layout
+            .keys_from(old_len as u32)
+            .fold(0_u64, |acc, (_, suffix, _)| acc | tail_bit(suffix));
+        for slot_idx in 0..self.slots.len() {
+            let t = ThreadId(slot_idx as u64);
+            let mut log = self.slots[slot_idx].allowed.lock();
+            if log.tail_filter & new_filter != 0 && !log.entries.is_empty() {
+                // Same deterministic order as the full sweep.
+                let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
+                locks.sort_unstable();
+                let mut fresh_filter = 0_u64;
+                for l in locks {
+                    for &stack in &log.entries[&l] {
+                        let frames = self.stacks.resolve(stack);
+                        fresh_filter |= tail_bit(&frames);
+                        // Only *new* slots: surviving buckets already hold
+                        // every relevant old entry.
+                        for &d in &view.depths {
+                            let suffix = suffix_of(&frames, d as usize);
+                            if let Some(s) = view.layout.slot_of(d, suffix) {
+                                if s >= old_len as u32 {
+                                    view.table.insert(s, AllowedEntry { t, l, stack });
+                                }
+                            }
+                        }
+                    }
+                }
+                // The visit saw every entry — reset the bloom exactly.
+                log.tail_filter = fresh_filter;
+            }
+            log.view = None;
+            log.view_epoch = u64::MAX;
+        }
+        view.table.swept.store(true, Ordering::Release);
+        true
+    }
+
+    /// The fallback path: builds a fresh table + index for generation
+    /// `gen`, publishes the new view, then sweeps every per-thread log
+    /// into the fresh buckets. See the module docs for the
+    /// publication-before-sweep protocol. Holds the rebuild lock.
+    fn full_rebuild(&self, gen: u64) {
         let index = if self.config.use_match_index {
             Some(Arc::new(MatchIndex::build(&self.history, &self.stacks)))
         } else {
@@ -1067,7 +1331,11 @@ impl AvoidanceCore {
         // would silently reintroduce aliasing (spurious cover searches,
         // and the O(1) whole-set reject turns itself off), so it is
         // clamped up to the key count and the correction is surfaced in
-        // the `occupancy_clamps` gauge.
+        // the `occupancy_clamps` gauge. The adaptive default doubles past
+        // the key count (4 bytes/slot): delta rebuilds inherit this array
+        // and fall back to a full rebuild when an extended layout
+        // outgrows it, so the headroom is what makes live vaccination
+        // patch instead of sweep — classic amortized doubling.
         let occupancy_floor = layout.len().max(1);
         let occupancy_slots = match self.config.occupancy_slots {
             Some(n) if n < occupancy_floor => {
@@ -1075,7 +1343,7 @@ impl AvoidanceCore {
                 occupancy_floor
             }
             Some(n) => n,
-            None => occupancy_floor,
+            None => (occupancy_floor * 2).next_power_of_two(),
         };
         let view = Arc::new(MatchView {
             generation: gen,
@@ -1094,14 +1362,21 @@ impl AvoidanceCore {
             let mut log = slot.allowed.lock();
             let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
             locks.sort_unstable();
+            let mut fresh_filter = 0_u64;
             for l in locks {
                 for &stack in &log.entries[&l] {
                     let frames = self.stacks.resolve(stack);
+                    // The sweep sees every entry, so recompute the tail
+                    // bloom exactly — over all entries, relevant or not
+                    // (an irrelevant entry can become patchable under a
+                    // later delta's new keys).
+                    fresh_filter |= tail_bit(&frames);
                     if view.is_relevant(&frames) {
                         Self::insert_buckets(&view, &frames, AllowedEntry { t, l, stack });
                     }
                 }
             }
+            log.tail_filter = fresh_filter;
             // Drop the slot's cached view: an idle thread must not keep the
             // retired generation's whole bucket table alive until its next
             // hook (active threads reload on their next epoch check anyway).
@@ -1160,9 +1435,20 @@ impl AvoidanceCore {
         let slot = &self.slots[t.0 as usize];
         let epoch = slot.wake_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         for c in causes {
-            self.slots[c.thread.0 as usize]
-                .wake_list
-                .push(c.lock.0, t.0, epoch);
+            // Recycle a node from *our own* pool (registration runs on the
+            // yielding thread — the pool's single popper); the push itself
+            // still lands in the cause thread's list.
+            let hit = self.slots[c.thread.0 as usize].wake_list.push_pooled(
+                &slot.wake_pool,
+                c.lock.0,
+                t.0,
+                epoch,
+            );
+            Stats::bump(if hit {
+                &self.stats.wake_pool_hits
+            } else {
+                &self.stats.wake_pool_misses
+            });
         }
         slot.in_yielding.store(true, Ordering::Relaxed);
     }
@@ -1215,6 +1501,72 @@ impl AvoidanceCore {
         l: LockId,
         frames: &[FrameId],
         stack: StackId,
+    ) -> Option<(Instance, CoverProof)> {
+        let mut scratch: Vec<[u64; 3]> = Vec::new();
+        self.find_instance_with(view, slot, t, l, frames, stack, &mut |s: u32| {
+            let seq = view.table.buckets[s as usize].read_into(&mut scratch);
+            (seq, Self::decode_sorted(&scratch))
+        })
+    }
+
+    /// The bounded-retry fallback decision (see [`Config::cover_retry_limit`]
+    /// and the module docs): runs the same search as [`Self::find_instance`]
+    /// but while **holding every bucket's write claim** (taken in ascending
+    /// slot order — the lowest tier of the engine lock order), so nothing
+    /// can move under it and no post-registration revalidation is needed.
+    /// On a hit the yield is registered *before* the claims drop: a racing
+    /// cause release must claim a bucket to remove its entry, so its
+    /// removal — and hence its wake-list drain — is ordered after the
+    /// registration here and observes it (no lost wakeup). Claim holders
+    /// never take an engine mutex and normal write sessions hold a single
+    /// claim without waiting, so the all-claims hold cannot deadlock —
+    /// only serialize.
+    fn find_instance_locked(
+        &self,
+        view: &MatchView,
+        slot: usize,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+    ) -> Option<Instance> {
+        Stats::bump(&self.stats.cover_fallbacks);
+        let writers: Vec<_> = view.table.buckets.iter().map(|b| b.write()).collect();
+        let mut scratch: Vec<[u64; 3]> = Vec::new();
+        let all: Vec<Vec<AllowedEntry>> = writers
+            .iter()
+            .map(|w| {
+                w.read_into(&mut scratch);
+                Self::decode_sorted(&scratch)
+            })
+            .collect();
+        // Sequences in the proof are immaterial — the decision is final.
+        let found = self.find_instance_with(view, slot, t, l, frames, stack, &mut |s: u32| {
+            (0, all[s as usize].clone())
+        });
+        let inst = found.map(|(inst, _proof)| inst);
+        if let Some(inst) = &inst {
+            if self.config.enforce_yields {
+                self.insert_yielding(t, &inst.causes);
+            }
+        }
+        drop(writers);
+        inst
+    }
+
+    /// Shared search body of [`Self::find_instance`] (optimistic bucket
+    /// reads) and [`Self::find_instance_locked`] (reads under claims),
+    /// parameterized over the bucket `read` accessor.
+    #[allow(clippy::too_many_arguments)] // Packed search inputs + accessor.
+    fn find_instance_with(
+        &self,
+        view: &MatchView,
+        slot: usize,
+        t: ThreadId,
+        l: LockId,
+        frames: &[FrameId],
+        stack: StackId,
+        read: &mut dyn FnMut(u32) -> (u64, Vec<AllowedEntry>),
     ) -> Option<(Instance, CoverProof)> {
         let hot = self.stats.hot(slot);
         if let Some(index) = &view.index {
@@ -1291,7 +1643,8 @@ impl AvoidanceCore {
                         &fresh_keys
                     };
                     Stats::bump(&hot.cover_searches);
-                    found = Self::try_cover(view, &c.sig, d, member_keys, c.member, t, l, stack);
+                    found =
+                        Self::try_cover_with(read, &c.sig, d, member_keys, c.member, t, l, stack);
                     if found.is_some() {
                         break 'sets;
                     }
@@ -1324,7 +1677,9 @@ impl AvoidanceCore {
                             continue;
                         }
                         Stats::bump(&hot.cover_searches);
-                        if let Some(found) = Self::try_cover(view, sig, d, keys, mi, t, l, stack) {
+                        if let Some(found) =
+                            Self::try_cover_with(read, sig, d, keys, mi, t, l, stack)
+                        {
                             return Some(found);
                         }
                     }
@@ -1334,18 +1689,32 @@ impl AvoidanceCore {
         }
     }
 
+    /// Decodes a raw bucket snapshot into the **canonical cover order**:
+    /// sorted by `(thread, lock, stack)`. Bucket *storage* order is not
+    /// load-bearing (a delta patch preserves surviving buckets' temporal
+    /// order while a full rebuild re-inserts in sweep order); sorting
+    /// every snapshot here — and the reference engine sorting the same
+    /// way — keeps decision streams byte-identical across both paths.
+    fn decode_sorted(raw: &[[u64; 3]]) -> Vec<AllowedEntry> {
+        let mut entries: Vec<AllowedEntry> =
+            raw.iter().copied().map(AllowedEntry::decode).collect();
+        entries.sort_unstable_by_key(|e| e.encode());
+        entries
+    }
+
     /// Attempts to cover `sig`'s member stacks (anchoring the current thread
     /// at member `anchor`) with distinct `(thread, lock)` entries from the
-    /// `Allowed` buckets — the "exact cover" of §3. Entirely read-only and
-    /// optimistic: each distinct member bucket is copied once with a
-    /// validated sequence ([`VersionedBucket::read_into`]), the search runs
-    /// over those snapshots, and a successful cover returns the
-    /// `(bucket, sequence)` proof for post-registration revalidation. The
-    /// per-bucket copies preserve `Vec` order, so sequential decisions are
-    /// byte-identical to the reference engine's.
+    /// `Allowed` buckets — the "exact cover" of §3. Bucket access is
+    /// abstracted behind `read` (slot → validated `(sequence, canonical
+    /// snapshot)`): the optimistic path supplies seqlock copies
+    /// ([`VersionedBucket::read_into`]), the bounded-retry fallback
+    /// supplies reads taken under write claims. Each distinct member
+    /// bucket is read once, the search runs over those snapshots, and a
+    /// successful cover returns the `(bucket, sequence)` proof for
+    /// post-registration revalidation.
     #[allow(clippy::too_many_arguments)] // Packed cover-search inputs.
-    fn try_cover(
-        view: &MatchView,
+    fn try_cover_with(
+        read: &mut dyn FnMut(u32) -> (u64, Vec<AllowedEntry>),
         sig: &Arc<Signature>,
         d: u8,
         keys: &[MemberKey],
@@ -1356,7 +1725,6 @@ impl AvoidanceCore {
     ) -> Option<(Instance, CoverProof)> {
         let members: Vec<usize> = (0..keys.len()).filter(|&i| i != anchor).collect();
         let mut snaps: Vec<BucketSnap> = Vec::with_capacity(members.len());
-        let mut scratch: Vec<[u64; 3]> = Vec::new();
         for &i in &members {
             // `cover_possible` vouched for every member, but a raced depth
             // change can leave a key outside the layout: no bucket, no
@@ -1365,15 +1733,11 @@ impl AvoidanceCore {
             if snaps.iter().any(|s| s.slot == slot) {
                 continue; // members with identical keys share one snapshot
             }
-            let seq = view.table.buckets[slot as usize].read_into(&mut scratch);
-            if scratch.is_empty() {
+            let (seq, entries) = read(slot);
+            if entries.is_empty() {
                 return None; // a required member bucket is empty
             }
-            snaps.push(BucketSnap {
-                slot,
-                seq,
-                entries: scratch.iter().copied().map(AllowedEntry::decode).collect(),
-            });
+            snaps.push(BucketSnap { slot, seq, entries });
         }
         let mut chosen: Vec<(ThreadId, LockId, StackId, StackId)> = Vec::new();
         if Self::cover_rec(&snaps, keys, &members, 0, t, l, &mut chosen) {

@@ -117,8 +117,10 @@ pub struct Config {
     /// versioned bucket array (rounded up to a power of two). `None`
     /// (default) sizes them adaptively at rebuild time from the match
     /// index's `key_count()` — at least one counter per distinct
-    /// `(depth, suffix)` bucket key, which makes the fingerprints
-    /// collision-free and the guard-free cover precheck exact. An
+    /// `(depth, suffix)` bucket key (the adaptive default doubles past
+    /// it, so delta rebuilds have headroom to extend the layout without
+    /// re-sizing), which makes the fingerprints collision-free and the
+    /// guard-free cover precheck exact. An
     /// override *below* the key count would silently reintroduce
     /// fingerprint aliasing (sound, but every aliased read costs a
     /// spurious cover search and disables the O(1) whole-set reject), so
@@ -126,6 +128,16 @@ pub struct Config {
     /// correction in [`crate::stats::Stats::occupancy_clamps`]; only
     /// values at or above the key count take effect. 4 bytes per slot.
     pub occupancy_slots: Option<usize>,
+    /// Bounded-retry budget for the optimistic cover decision: after this
+    /// many consecutive post-registration revalidation failures on one
+    /// `request` (a member bucket's version kept moving between the
+    /// optimistic read and the yield registration — adversarial churn), the
+    /// decision falls back to computing the cover while *holding* every
+    /// bucket's write claim, which cannot be invalidated and so always
+    /// terminates. The fallback serializes against bucket writers but keeps
+    /// the request path effectively wait-free; occurrences are counted in
+    /// [`crate::stats::Stats::cover_fallbacks`]. Default 8.
+    pub cover_retry_limit: u32,
     /// Structural false-positive accounting for the Figure 9 experiment:
     /// when set to the program's full stack depth `D`, every yield is
     /// classified immediately — a *true* positive if all instance bindings
@@ -154,6 +166,7 @@ impl Default for Config {
             enforce_yields: true,
             use_match_index: true,
             occupancy_slots: None,
+            cover_retry_limit: 8,
             structural_fp_reference_depth: None,
         }
     }

@@ -79,7 +79,7 @@ pub use monitor::{Hooks, Monitor};
 pub use raw::{LockSite, RawLock};
 pub use reference::ReferenceCore;
 pub use runtime::{ParkOutcome, Runtime};
-pub use stats::{Stats, StatsSnapshot};
+pub use stats::{rebuild_us_bin, Stats, StatsSnapshot, REBUILD_BINS, REBUILD_US_BINS};
 pub use sync::{ImmunizedMutex, ImmunizedMutexGuard, ReentrantGuard, ReentrantLock};
 
 // Re-export the identifier types and signature machinery that appear in our

@@ -343,27 +343,43 @@ impl Monitor {
             .prediction_edges
             .store(pstats.edge_instances, Relaxed);
         let max_predicted = predictor.config().max_predicted;
+        // Coalesce the whole pass's discoveries into ONE generation bump:
+        // the early-run predictor can surface many feasible cycles in a
+        // single pass, and archiving them one by one used to cost one
+        // generation bump — and one downstream rebuild — each. Batch
+        // construction gates the budget conservatively (a deduplicated
+        // item wastes its tentative slot within this pass); the budget
+        // itself only counts signatures actually added.
+        let mut batch = Vec::new();
         for cycle in cycles {
             Stats::bump(&self.stats.cycles_predicted);
-            if self.predicted_budget_used >= max_predicted {
+            if self.predicted_budget_used + batch.len() >= max_predicted {
                 continue;
             }
-            if let Some(sig) = self.history.add_with_provenance(
+            batch.push((
                 CycleKind::Deadlock,
                 cycle.labels,
                 self.config.default_depth,
                 Provenance::Predicted,
-            ) {
-                self.predicted_budget_used += 1;
-                Stats::bump(&self.stats.predicted_signatures);
-                Stats::bump(&self.stats.signatures_added);
-                if let Some(cal_cfg) = &self.config.calibration {
-                    let start_depth = sig.calibration().start(cal_cfg);
-                    sig.set_depth(start_depth);
-                }
-                self.dirty = true;
-                self.history.touch();
+            ));
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let history = Arc::clone(&self.history);
+        let added = history.add_batch_with_provenance(batch, |sig| {
+            Stats::bump(&self.stats.predicted_signatures);
+            Stats::bump(&self.stats.signatures_added);
+            if let Some(cal_cfg) = &self.config.calibration {
+                // Pre-visibility finalization: the calibration start depth
+                // lands before snapshot readers can see the signature, so
+                // no second (invalidating) touch is needed.
+                sig.set_depth(sig.calibration().start(cal_cfg));
             }
+        });
+        if !added.is_empty() {
+            self.predicted_budget_used += added.len();
+            self.dirty = true;
         }
     }
 
@@ -501,24 +517,35 @@ impl Monitor {
     }
 
     /// Saves (or finds) the signature for a detected cycle and starts its
-    /// calibration when enabled.
+    /// calibration when enabled. Uses the batched add so archival costs a
+    /// single generation bump (the calibration start depth is finalized
+    /// pre-visibility instead of via a second invalidating touch) — which
+    /// also keeps the bump a pure append, i.e. delta-rebuildable.
     fn save_signature(&mut self, kind: CycleKind, labels: Vec<StackId>) -> Arc<Signature> {
-        if let Some(sig) = self
-            .history
-            .add(kind, labels.clone(), self.config.default_depth)
-        {
-            Stats::bump(&self.stats.signatures_added);
-            if let Some(cal_cfg) = &self.config.calibration {
-                let start_depth = sig.calibration().start(cal_cfg);
-                sig.set_depth(start_depth);
+        let history = Arc::clone(&self.history);
+        let added = history.add_batch_with_provenance(
+            vec![(
+                kind,
+                labels.clone(),
+                self.config.default_depth,
+                Provenance::default_for(kind),
+            )],
+            |sig| {
+                Stats::bump(&self.stats.signatures_added);
+                if let Some(cal_cfg) = &self.config.calibration {
+                    sig.set_depth(sig.calibration().start(cal_cfg));
+                }
+            },
+        );
+        match added.into_iter().next() {
+            Some(sig) => {
+                self.dirty = true;
+                sig
             }
-            self.dirty = true;
-            self.history.touch();
-            sig
-        } else {
-            self.history
+            None => self
+                .history
                 .find_by_stacks(&labels)
-                .expect("duplicate add implies the signature exists")
+                .expect("duplicate add implies the signature exists"),
         }
     }
 

@@ -401,7 +401,14 @@ impl ReferenceCore {
         let Some(candidates) = state.buckets.get(&d).and_then(|m| m.get(suffix)) else {
             return false;
         };
-        for e in candidates {
+        // Canonical cover order: the sharded engine sorts every bucket
+        // snapshot by `(thread, lock, stack)` at cover time (its storage
+        // order differs between delta-patched and fully rebuilt tables),
+        // so the reference must search in the same order for the
+        // differential decision streams to stay byte-identical.
+        let mut candidates: Vec<AllowedEntry> = candidates.clone();
+        candidates.sort_unstable_by_key(|e| (e.t.0, e.l.0, e.stack.0));
+        for e in &candidates {
             let distinct =
                 e.t != t && e.l != l && chosen.iter().all(|&(ct, cl, _, _)| ct != e.t && cl != e.l);
             if !distinct {

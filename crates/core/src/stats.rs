@@ -108,6 +108,46 @@ pub struct Stats {
     /// bucket-key count (the override would have reintroduced fingerprint
     /// aliasing; see `Config::occupancy_slots`).
     pub occupancy_clamps: AtomicU64,
+    /// Rebuilds that took the incremental delta-patch path (pure signature
+    /// appends: surviving buckets and occupancy fingerprints reused, only
+    /// new-suffix entries patched in).
+    pub rebuilds_delta: AtomicU64,
+    /// Rebuilds that took the full stop-the-world path (structural history
+    /// changes, first build, or layout growth past the occupancy filter).
+    pub rebuilds_full: AtomicU64,
+    /// Worst observed delta-rebuild latency, microseconds.
+    pub rebuild_us_delta_max: AtomicU64,
+    /// Worst observed full-rebuild latency, microseconds.
+    pub rebuild_us_full_max: AtomicU64,
+    /// Delta-rebuild latency histogram; bin upper bounds are
+    /// [`REBUILD_US_BINS`] (microseconds, last bin unbounded).
+    pub rebuild_us_delta_hist: [AtomicU64; REBUILD_BINS],
+    /// Full-rebuild latency histogram; bins as in `rebuild_us_delta_hist`.
+    pub rebuild_us_full_hist: [AtomicU64; REBUILD_BINS],
+    /// Cover decisions that exhausted the bounded optimistic-retry budget
+    /// (`Config::cover_retry_limit`) and fell back to deciding under the
+    /// member buckets' write claims (the effectively wait-free slow path).
+    pub cover_fallbacks: AtomicU64,
+    /// Yield registrations served from the thread's wake-node pool (no
+    /// allocation).
+    pub wake_pool_hits: AtomicU64,
+    /// Yield registrations that Box-allocated because the pool was dry.
+    pub wake_pool_misses: AtomicU64,
+}
+
+/// Number of bins in the rebuild-latency histograms.
+pub const REBUILD_BINS: usize = 8;
+
+/// Upper bounds (µs, inclusive) of the rebuild-latency histogram bins; the
+/// last bin is unbounded.
+pub const REBUILD_US_BINS: [u64; REBUILD_BINS] = [1, 4, 16, 64, 256, 1024, 4096, u64::MAX];
+
+/// The histogram bin for a rebuild that took `us` microseconds.
+pub fn rebuild_us_bin(us: u64) -> usize {
+    REBUILD_US_BINS
+        .iter()
+        .position(|&hi| us <= hi)
+        .unwrap_or(REBUILD_BINS - 1)
 }
 
 impl Default for Stats {
@@ -139,6 +179,15 @@ impl Default for Stats {
             prediction_guard_suppressed: AtomicU64::new(0),
             prediction_edges: AtomicU64::new(0),
             occupancy_clamps: AtomicU64::new(0),
+            rebuilds_delta: AtomicU64::new(0),
+            rebuilds_full: AtomicU64::new(0),
+            rebuild_us_delta_max: AtomicU64::new(0),
+            rebuild_us_full_max: AtomicU64::new(0),
+            rebuild_us_delta_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            rebuild_us_full_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            cover_fallbacks: AtomicU64::new(0),
+            wake_pool_hits: AtomicU64::new(0),
+            wake_pool_misses: AtomicU64::new(0),
         }
     }
 }
@@ -212,6 +261,18 @@ impl Stats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one rebuild latency into the delta or full histogram + max
+    /// gauge.
+    pub(crate) fn record_rebuild_us(&self, delta: bool, us: u64) {
+        let (hist, max) = if delta {
+            (&self.rebuild_us_delta_hist, &self.rebuild_us_delta_max)
+        } else {
+            (&self.rebuild_us_full_hist, &self.rebuild_us_full_max)
+        };
+        hist[rebuild_us_bin(us)].fetch_add(1, Ordering::Relaxed);
+        max.fetch_max(us, Ordering::Relaxed);
+    }
+
     /// Convenience relaxed read.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
@@ -252,6 +313,17 @@ impl Stats {
             prediction_guard_suppressed: Self::get(&self.prediction_guard_suppressed),
             prediction_edges: Self::get(&self.prediction_edges),
             occupancy_clamps: Self::get(&self.occupancy_clamps),
+            rebuilds_delta: Self::get(&self.rebuilds_delta),
+            rebuilds_full: Self::get(&self.rebuilds_full),
+            rebuild_us_delta_max: Self::get(&self.rebuild_us_delta_max),
+            rebuild_us_full_max: Self::get(&self.rebuild_us_full_max),
+            rebuild_us_delta_hist: std::array::from_fn(|i| {
+                Self::get(&self.rebuild_us_delta_hist[i])
+            }),
+            rebuild_us_full_hist: std::array::from_fn(|i| Self::get(&self.rebuild_us_full_hist[i])),
+            cover_fallbacks: Self::get(&self.cover_fallbacks),
+            wake_pool_hits: Self::get(&self.wake_pool_hits),
+            wake_pool_misses: Self::get(&self.wake_pool_misses),
         }
     }
 }
@@ -323,6 +395,24 @@ pub struct StatsSnapshot {
     pub prediction_edges: u64,
     /// Rebuilds that clamped an `occupancy_slots` override.
     pub occupancy_clamps: u64,
+    /// Rebuilds that took the incremental delta-patch path.
+    pub rebuilds_delta: u64,
+    /// Rebuilds that took the full stop-the-world path.
+    pub rebuilds_full: u64,
+    /// Worst observed delta-rebuild latency, microseconds.
+    pub rebuild_us_delta_max: u64,
+    /// Worst observed full-rebuild latency, microseconds.
+    pub rebuild_us_full_max: u64,
+    /// Delta-rebuild latency histogram (bins: [`REBUILD_US_BINS`]).
+    pub rebuild_us_delta_hist: [u64; REBUILD_BINS],
+    /// Full-rebuild latency histogram (bins: [`REBUILD_US_BINS`]).
+    pub rebuild_us_full_hist: [u64; REBUILD_BINS],
+    /// Cover decisions that fell back to the locked slow path.
+    pub cover_fallbacks: u64,
+    /// Yield registrations served from a wake-node pool.
+    pub wake_pool_hits: u64,
+    /// Yield registrations that Box-allocated (pool dry).
+    pub wake_pool_misses: u64,
 }
 
 impl fmt::Debug for StatsSnapshot {

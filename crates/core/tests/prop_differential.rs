@@ -10,7 +10,8 @@
 //! GO/YIELD decision streams must be byte-identical at every step.
 
 use dimmunix_core::{
-    Config, CycleKind, Decision, FrameId, LockId, ReferenceCore, Runtime, StackId, ThreadId,
+    Config, CycleKind, Decision, FrameId, LockId, ReferenceCore, Runtime, StackId, StatsSnapshot,
+    ThreadId,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -26,8 +27,15 @@ enum Step {
     /// Give thread `t` one scheduling slot.
     Run(u8),
     /// Add a deadlock signature over sites `i`/`j` at `depth` — the
-    /// empty→non-empty history transition happens mid-schedule.
+    /// empty→non-empty history transition happens mid-schedule. Followed
+    /// by a structural touch, so the sharded engine takes the full-rebuild
+    /// path.
     AddSig { i: u8, j: u8, depth: u8 },
+    /// Add a deadlock signature *without* a structural touch: the bump is
+    /// a pure append, so the sharded engine's next rebuild takes the
+    /// publish-then-patch delta path (the reference always rebuilds
+    /// fully — the two paths must stay decision-identical).
+    AddSigDelta { i: u8, j: u8, depth: u8 },
 }
 
 /// One scripted action of a simulated thread.
@@ -87,6 +95,43 @@ fn arb_hit_heavy_schedule() -> impl Strategy<Value = Vec<Step>> {
                 (0_u8..THREADS as u8).prop_map(Step::Run),
                 (0_u8..THREADS as u8).prop_map(Step::Run),
                 add_sig(),
+            ],
+            0..160,
+        ),
+    )
+        .prop_map(|(mut steps, rest)| {
+            steps.extend(rest);
+            steps
+        })
+}
+
+/// Pure-append generator for the delta-rebuild path: signatures are
+/// injected mid-run *without* a structural touch, interleaved with decision
+/// traffic, so the sharded engine repeatedly extends its live match state
+/// (publish-then-patch over shared buckets) while requests race the bumps.
+/// The reference rebuilds fully on every bump; the decision streams must
+/// stay byte-identical.
+fn arb_delta_schedule() -> impl Strategy<Value = Vec<Step>> {
+    let add = || {
+        (0_u8..SITES, 0_u8..SITES, 1_u8..3).prop_map(|(i, j, depth)| Step::AddSigDelta {
+            i,
+            j,
+            depth,
+        })
+    };
+    (
+        // Seed one or two signatures so the first requests already run
+        // against a built match state; later appends then extend it.
+        prop::collection::vec(add(), 1..3),
+        prop::collection::vec(
+            prop_oneof![
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                (0_u8..THREADS as u8).prop_map(Step::Run),
+                add(),
             ],
             0..160,
         ),
@@ -368,6 +413,16 @@ fn run_differential(
     schedule: &[Step],
     scripts: [Vec<Action>; THREADS],
 ) -> Result<Vec<bool>, String> {
+    run_differential_full(use_match_index, schedule, scripts).map(|(d, _)| d)
+}
+
+/// [`run_differential`] plus the sharded runtime's final stats snapshot,
+/// for tests that assert *which* rebuild path ran.
+fn run_differential_full(
+    use_match_index: bool,
+    schedule: &[Step],
+    scripts: [Vec<Action>; THREADS],
+) -> Result<(Vec<bool>, StatsSnapshot), String> {
     let rt = Runtime::new(Config {
         use_match_index,
         max_threads: 8,
@@ -444,9 +499,16 @@ fn run_differential(
                 rt.history().add(CycleKind::Deadlock, vec![a, b], depth);
                 rt.history().touch();
             }
+            Step::AddSigDelta { i, j, depth } => {
+                let a = sites[i as usize].1;
+                let b = sites[j as usize].1;
+                // No touch: the add itself is one pure-append generation
+                // bump, eligible for the sharded engine's delta patch.
+                rt.history().add(CycleKind::Deadlock, vec![a, b], depth);
+            }
         }
     }
-    Ok(decisions)
+    Ok((decisions, rt.stats()))
 }
 
 proptest! {
@@ -493,6 +555,24 @@ proptest! {
         s1 in arb_waiter_script(1),
         s2 in arb_waiter_script(2),
         s3 in arb_waiter_script(3),
+    ) {
+        let result = run_differential(true, &schedule, [s0, s1, s2, s3]);
+        prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
+    }
+
+    /// Same agreement when every mid-run history bump is a pure append
+    /// (vaccination without a structural touch): the sharded engine's
+    /// delta rebuilds — extended layouts, shared buckets, tail-filtered
+    /// log patches — must be decision-identical to the reference's full
+    /// rebuilds, including bumps landing between a thread's entries being
+    /// recorded and the cover searches that consume them.
+    #[test]
+    fn sharded_engine_matches_reference_delta_rebuilds(
+        schedule in arb_delta_schedule(),
+        s0 in arb_script(),
+        s1 in arb_script(),
+        s2 in arb_script(),
+        s3 in arb_script(),
     ) {
         let result = run_differential(true, &schedule, [s0, s1, s2, s3]);
         prop_assert!(result.is_ok(), "{}", result.err().unwrap_or_default());
@@ -626,6 +706,55 @@ fn retained_wake_registration_survives_unrelated_release() {
         decisions,
         vec![true, true, false, true],
         "two holder GOs, one yield on (T0, L0), one post-wake GO"
+    );
+}
+
+/// A deterministic regression for the delta-rebuild patch: an entry
+/// recorded as *irrelevant* (its suffix matched no signature member) must
+/// be found by the patch when a later pure-append bump makes its suffix a
+/// member key — and an entry bucketed *before* the bump must survive in
+/// its shared bucket. Both covers must then fire, in lockstep with the
+/// reference, and the sharded engine must have taken the delta path (not
+/// fallen back to a full rebuild).
+#[test]
+fn mid_run_append_bump_patches_live_state_in_lockstep() {
+    let schedule = vec![
+        Step::AddSigDelta {
+            i: 0,
+            j: 1,
+            depth: 2,
+        },
+        Step::Run(0), // T0 locks L0 via site 2: irrelevant suffix → log-only
+        Step::Run(1), // T1 locks L2 via site 0: member of sig(0,1) → bucketed
+        Step::AddSigDelta {
+            i: 2,
+            j: 3,
+            depth: 2,
+        },
+        Step::Run(2), // T2 requests L1 via site 3: the cover needs T0's
+        // (L0, site 2) entry, which only the delta patch
+        // could have bucketed → YIELD
+        Step::Run(3), // T3 requests L3 via site 1: the cover needs T1's
+                      // (L2, site 0) entry, surviving in a shared bucket → YIELD
+    ];
+    let scripts = [
+        vec![Action::Lock(0, 2)],
+        vec![Action::Lock(2, 0)],
+        vec![Action::Lock(1, 3)],
+        vec![Action::Lock(3, 1)],
+    ];
+    let (decisions, stats) =
+        run_differential_full(true, &schedule, scripts).expect("no divergence");
+    assert_eq!(
+        decisions,
+        vec![true, true, false, false],
+        "two holder GOs, then one cover out of a patched bucket and one out of a shared bucket"
+    );
+    assert!(
+        stats.rebuilds_delta >= 1,
+        "the mid-run append must have taken the delta path (delta={} full={})",
+        stats.rebuilds_delta,
+        stats.rebuilds_full
     );
 }
 

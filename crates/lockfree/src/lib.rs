@@ -67,4 +67,4 @@ pub use peterson::{FilterLock, FilterLockGuard, SlotAllocator};
 pub use spsc::SpscRing;
 pub use tournament::{TournamentGuard, TournamentLock};
 pub use versioned::{BucketWriter, VersionedBucket};
-pub use wakelist::{DrainVerdict, WakeList};
+pub use wakelist::{DrainVerdict, WakeList, WakeNodePool};

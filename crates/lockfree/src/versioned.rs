@@ -22,10 +22,12 @@
 //!   never freed until drop, so readers can traverse them at any time
 //!   without reclamation machinery). The live records always occupy the
 //!   dense prefix `[0, len)`: `push` appends at `len`, `remove` copies the
-//!   last record into the hole (`Vec::swap_remove` order). That order is
-//!   load-bearing — the avoidance engine's differential oracle keeps its
-//!   buckets in `Vec` push/`swap_remove` order, and decision streams must
-//!   stay byte-identical in sequential (lockstep) execution.
+//!   last record into the hole (`Vec::swap_remove` order). Storage order is
+//!   deterministic but *not* load-bearing for decision equality: since
+//!   delta rebuilds preserve temporal order in surviving buckets while full
+//!   rebuilds re-insert in sweep order, the avoidance engine (and its
+//!   differential oracle) canonically sort every snapshot before running
+//!   the cover search.
 //!
 //! Records are fixed-width arrays of `u64` words stored in per-word
 //! atomics: a torn copy can be *produced* while a writer races, but the
@@ -334,6 +336,17 @@ impl<const W: usize> BucketWriter<'_, W> {
         }
         self.len += 1;
         self.bucket.len.store(self.len, Ordering::Release);
+    }
+
+    /// Copies the live records into `out` (cleared first), in slot order.
+    /// Runs under the session's exclusive claim, so no sequence validation
+    /// or retry is needed — this is the read half of the avoidance engine's
+    /// bounded-retry locked fallback, where a decision is computed while
+    /// *holding* every member bucket instead of optimistically revalidating.
+    pub fn read_into(&self, out: &mut Vec<[u64; W]>) {
+        out.clear();
+        self.bucket.copy_prefix(self.len as usize, out);
+        debug_assert_eq!(out.len(), self.len as usize);
     }
 
     /// Removes the first record equal to `rec`, moving the last live record

@@ -36,7 +36,7 @@
 
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
 
 /// What a drainer decides for one node (see [`WakeList::drain`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +52,124 @@ struct Node {
     payload: u64,
     tag: u64,
     next: *mut Node,
+}
+
+/// Soft capacity of a [`WakeNodePool`]; nodes returned beyond it are freed.
+const POOL_CAP: u32 = 64;
+
+/// A bounded Treiber free-list of wake nodes, so steady-state yield
+/// registration recycles nodes instead of Box-allocating on the hot path.
+///
+/// # Single-popper contract
+///
+/// All *pops* of one pool must be serialized by the caller. The avoidance
+/// engine guarantees this structurally: each registered thread slot owns
+/// one pool, registration ([`WakeList::push_pooled`]) only ever draws from
+/// the *registering* thread's own pool, and a release returns drained
+/// nodes to the *draining* thread's own pool ([`WakeList::drain_into`]).
+/// With a single popper the Treiber pop is ABA-free: nobody else can
+/// remove the observed head, so a successful CAS proves the head (and its
+/// `next` link) did not change. *Pushes* may come from any thread.
+///
+/// The length counter is advisory (`Relaxed`): the cap may be overshot by
+/// a few nodes under concurrent pushes, which only costs memory, never
+/// correctness.
+pub struct WakeNodePool {
+    head: AtomicPtr<Node>,
+    len: AtomicU32,
+}
+
+// SAFETY: As for `WakeList` — nodes are owned by the pool once pushed, the
+// head only moves through atomic RMWs, and the single-popper contract is a
+// liveness/aliasing discipline documented above (pop safety relies on it;
+// the engine upholds it structurally).
+unsafe impl Send for WakeNodePool {}
+// SAFETY: See above.
+unsafe impl Sync for WakeNodePool {}
+
+impl WakeNodePool {
+    /// Creates an empty pool.
+    pub const fn new() -> Self {
+        Self {
+            head: AtomicPtr::new(ptr::null_mut()),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Advisory live-node count (telemetry only).
+    pub fn approx_len(&self) -> usize {
+        self.len.load(Ordering::Relaxed) as usize
+    }
+
+    /// Pops a free node, or null if the pool is empty. Callers must honor
+    /// the single-popper contract (type docs).
+    fn pop(&self) -> *mut Node {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            if head.is_null() {
+                return ptr::null_mut();
+            }
+            // SAFETY: Single-popper contract — `head` cannot be removed (and
+            // freed or re-linked) by anyone else between the load and the
+            // CAS, so reading its `next` link is safe and un-torn.
+            let next = unsafe { (*head).next };
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return head;
+                }
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// Returns a node to the pool; fails (caller frees) when at capacity.
+    fn push(&self, node: *mut Node) -> bool {
+        if self.len.load(Ordering::Relaxed) >= POOL_CAP {
+            return false;
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            // SAFETY: `node` is exclusively owned until the CAS succeeds.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(current) => head = current,
+            }
+        }
+    }
+}
+
+impl Default for WakeNodePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WakeNodePool {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            // SAFETY: Exclusive access in `drop`; nodes were Box-allocated.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+        }
+    }
+}
+
+impl fmt::Debug for WakeNodePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WakeNodePool")
+            .field("len", &self.approx_len())
+            .finish()
+    }
 }
 
 /// A Treiber-style multi-producer, single-drainer wake list (see module
@@ -117,6 +235,28 @@ impl WakeList {
         self.push_node(node);
     }
 
+    /// Pushes a registration node, recycling one from `pool` when it has a
+    /// free node instead of Box-allocating. Returns whether the pool had a
+    /// node (a *pool hit*). The caller must be the pool's single popper
+    /// ([`WakeNodePool`] docs).
+    pub fn push_pooled(&self, pool: &WakeNodePool, key: u64, payload: u64, tag: u64) -> bool {
+        let node = pool.pop();
+        if node.is_null() {
+            self.push(key, payload, tag);
+            return false;
+        }
+        // SAFETY: A successful pop transfers exclusive ownership of the node
+        // to this caller until `push_node` publishes it.
+        unsafe {
+            (*node).key = key;
+            (*node).payload = payload;
+            (*node).tag = tag;
+            (*node).next = ptr::null_mut();
+        }
+        self.push_node(node);
+        true
+    }
+
     fn push_node(&self, node: *mut Node) {
         let mut head = self.head.load(Ordering::SeqCst);
         loop {
@@ -149,6 +289,39 @@ impl WakeList {
                 DrainVerdict::Consume => consumed += 1,
                 DrainVerdict::Retain => self.push_node(Box::into_raw(node)),
             }
+        }
+        consumed
+    }
+
+    /// Like [`Self::drain`], but consumed nodes are returned to `pool`
+    /// (freed only when the pool is at capacity) so a later
+    /// [`Self::push_pooled`] can recycle them. The caller must be both this
+    /// list's single drainer and entitled to push into `pool` (pool pushes
+    /// are unrestricted; see [`WakeNodePool`]).
+    pub fn drain_into(
+        &self,
+        pool: &WakeNodePool,
+        mut judge: impl FnMut(u64, u64, u64) -> DrainVerdict,
+    ) -> usize {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        let mut consumed = 0;
+        while !p.is_null() {
+            // SAFETY: The swap transferred ownership of the whole chain to
+            // this drainer. `next` is read before the node is handed to the
+            // pool or re-pushed (both overwrite the link).
+            let (key, payload, tag, next) =
+                unsafe { ((*p).key, (*p).payload, (*p).tag, (*p).next) };
+            match judge(key, payload, tag) {
+                DrainVerdict::Consume => {
+                    consumed += 1;
+                    if !pool.push(p) {
+                        // SAFETY: Pool full; we still own the node.
+                        drop(unsafe { Box::from_raw(p) });
+                    }
+                }
+                DrainVerdict::Retain => self.push_node(p),
+            }
+            p = next;
         }
         consumed
     }
@@ -212,6 +385,59 @@ mod tests {
         odd.sort_unstable();
         assert_eq!(odd, vec![1, 3, 5, 7, 9]);
         assert!(list.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_consumed_nodes() {
+        let list = WakeList::new();
+        let pool = WakeNodePool::new();
+        // Cold pool: every push is a miss.
+        assert!(!list.push_pooled(&pool, 1, 10, 0));
+        assert!(!list.push_pooled(&pool, 2, 20, 0));
+        assert_eq!(pool.approx_len(), 0);
+        // Draining into the pool banks both nodes.
+        let consumed = list.drain_into(&pool, |_, _, _| DrainVerdict::Consume);
+        assert_eq!(consumed, 2);
+        assert_eq!(pool.approx_len(), 2);
+        // Warm pool: pushes are hits and carry the right payloads.
+        assert!(list.push_pooled(&pool, 3, 30, 7));
+        assert!(list.push_pooled(&pool, 4, 40, 7));
+        assert_eq!(pool.approx_len(), 0);
+        assert!(!list.push_pooled(&pool, 5, 50, 7)); // pool dry again
+        let mut seen = Vec::new();
+        list.drain_into(&pool, |key, payload, tag| {
+            assert_eq!(tag, 7);
+            seen.push((key, payload));
+            DrainVerdict::Consume
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(3, 30), (4, 40), (5, 50)]);
+        assert_eq!(pool.approx_len(), 3);
+    }
+
+    #[test]
+    fn pool_retain_and_cap_paths() {
+        let list = WakeList::new();
+        let pool = WakeNodePool::new();
+        for i in 0..(POOL_CAP as u64 + 10) {
+            list.push(i, i, 0);
+        }
+        // Retain odd keys on the first drain; consume everything else. The
+        // pool absorbs at most POOL_CAP nodes, the overflow is freed.
+        list.drain_into(&pool, |key, _, _| {
+            if key % 2 == 1 {
+                DrainVerdict::Retain
+            } else {
+                DrainVerdict::Consume
+            }
+        });
+        assert!(pool.approx_len() <= POOL_CAP as usize);
+        assert!(!list.is_empty());
+        let retained = list.drain_into(&pool, |key, _, _| {
+            assert_eq!(key % 2, 1);
+            DrainVerdict::Consume
+        });
+        assert_eq!(retained as u64, (POOL_CAP as u64 + 10).div_ceil(2));
     }
 
     #[test]

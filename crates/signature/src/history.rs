@@ -39,6 +39,7 @@ use crate::frame::FrameTable;
 use crate::signature::{CycleKind, Provenance, SigId, Signature};
 use crate::stack::{StackId, StackTable};
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -83,6 +84,35 @@ impl From<io::Error> for HistoryError {
     }
 }
 
+/// What happened to the history between two generations, as reported by
+/// [`History::delta_since`].
+#[derive(Clone, Debug)]
+pub enum HistoryDelta {
+    /// Every bump in the span was a pure append; the listed signatures (in
+    /// append order, possibly empty) are the only difference. The caller may
+    /// patch incrementally: nothing already published was removed, and no
+    /// existing signature's matching depth changed.
+    Appended(Vec<Arc<Signature>>),
+    /// The span contains a removal, a depth change ([`History::touch`]), or
+    /// reaches past the journal's retention window: only a full rebuild can
+    /// reconstruct the difference.
+    Structural,
+}
+
+/// One journaled generation bump.
+enum JournalEntry {
+    /// The bump appended exactly these signatures.
+    Appended(Vec<Arc<Signature>>),
+    /// The bump changed something other than the list tail.
+    Structural,
+}
+
+/// Bumps retained by the delta journal before old spans degrade to
+/// [`HistoryDelta::Structural`]. Rebuilds normally trail the head by one or
+/// two generations, so a short window suffices; the cap bounds memory when
+/// nobody consumes deltas (e.g. no runtime attached to a `History`).
+const JOURNAL_CAP: usize = 256;
+
 /// The persistent, duplicate-free collection of signatures.
 ///
 /// Reads are lock-free for practical purposes: [`History::snapshot`] returns
@@ -99,6 +129,11 @@ pub struct History {
     next_id: AtomicU64,
     /// Where [`History::save`] writes; set by [`History::open`].
     path: Mutex<Option<PathBuf>>,
+    /// Per-bump delta journal consumed by [`History::delta_since`]. The
+    /// lock also serializes generation bumps, so journal entries are
+    /// contiguous in generation and a reader that observed generation `g`
+    /// (`SeqCst`) is guaranteed to find `g`'s entry journaled.
+    journal: Mutex<VecDeque<(u64, JournalEntry)>>,
 }
 
 impl History {
@@ -109,6 +144,7 @@ impl History {
             generation: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
             path: Mutex::new(None),
+            journal: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -180,8 +216,57 @@ impl History {
         new_list.push(Arc::clone(&sig));
         *guard = Arc::new(new_list);
         drop(guard);
-        self.bump();
+        self.bump(JournalEntry::Appended(vec![Arc::clone(&sig)]));
         Some(sig)
+    }
+
+    /// Adds a whole batch of signatures under **one** generation bump.
+    ///
+    /// Each `(kind, stacks, depth, provenance)` item is deduplicated against
+    /// the history *and* the earlier items of the same batch; `on_added` runs
+    /// for every accepted signature *before* it becomes visible to snapshot
+    /// readers, so callers can finalize it (e.g. set a calibration start
+    /// depth) without a second invalidating [`History::touch`]. Returns the
+    /// accepted signatures in batch order.
+    ///
+    /// This is the monitor's coalescing path: one monitor pass that detects
+    /// or predicts N cycles used to cost N (or 2N, with calibration)
+    /// generation bumps — N separate rebuilds downstream. Batched, it costs
+    /// exactly one bump and one (delta) rebuild.
+    pub fn add_batch_with_provenance(
+        &self,
+        batch: Vec<(CycleKind, Vec<StackId>, u8, Provenance)>,
+        mut on_added: impl FnMut(&Arc<Signature>),
+    ) -> Vec<Arc<Signature>> {
+        let mut guard = self.sigs.write();
+        let mut added: Vec<Arc<Signature>> = Vec::new();
+        for (kind, mut stack_ids, depth, provenance) in batch {
+            stack_ids.sort_unstable();
+            if guard.iter().any(|s| s.same_stacks(&stack_ids))
+                || added.iter().any(|s| s.same_stacks(&stack_ids))
+            {
+                continue;
+            }
+            let id = SigId(
+                u32::try_from(self.next_id.fetch_add(1, Ordering::Relaxed))
+                    .expect("more than u32::MAX signatures"),
+            );
+            let sig = Arc::new(Signature::with_provenance(
+                id, kind, stack_ids, depth, provenance,
+            ));
+            on_added(&sig);
+            added.push(sig);
+        }
+        if added.is_empty() {
+            return added;
+        }
+        let mut new_list = Vec::with_capacity(guard.len() + added.len());
+        new_list.extend(guard.iter().cloned());
+        new_list.extend(added.iter().cloned());
+        *guard = Arc::new(new_list);
+        drop(guard);
+        self.bump(JournalEntry::Appended(added.clone()));
+        added
     }
 
     /// Removes a signature (e.g. one recalibration found 100% obsolete, §8).
@@ -194,7 +279,7 @@ impl History {
         let new_list: Vec<_> = guard.iter().filter(|s| s.id != id).cloned().collect();
         *guard = Arc::new(new_list);
         drop(guard);
-        self.bump();
+        self.bump(JournalEntry::Structural);
         true
     }
 
@@ -242,13 +327,64 @@ impl History {
     }
 
     /// Explicitly invalidates caches (call after changing a signature's
-    /// matching depth, which lives outside the list structure).
+    /// matching depth, which lives outside the list structure). Journaled as
+    /// structural: consumers must fully rebuild.
     pub fn touch(&self) {
-        self.bump();
+        self.bump(JournalEntry::Structural);
     }
 
-    fn bump(&self) {
-        self.generation.fetch_add(1, Ordering::SeqCst);
+    /// Classifies the span `(from, current]` of generation bumps for an
+    /// incremental consumer whose cached state was built at generation
+    /// `from`. `from` values at or ahead of the current generation report an
+    /// empty append (nothing to do) — except values *beyond* it (e.g. a
+    /// sentinel view's `u64::MAX`), which are structural since the journal
+    /// can say nothing about them.
+    pub fn delta_since(&self, from: u64) -> HistoryDelta {
+        let current = self.generation();
+        if from == current {
+            return HistoryDelta::Appended(Vec::new());
+        }
+        if from > current {
+            return HistoryDelta::Structural;
+        }
+        let journal = self.journal.lock();
+        let mut sigs = Vec::new();
+        let mut expected = from + 1;
+        for (gen, entry) in journal.iter() {
+            if *gen <= from {
+                continue;
+            }
+            if *gen > current {
+                break;
+            }
+            if *gen != expected {
+                return HistoryDelta::Structural;
+            }
+            expected += 1;
+            match entry {
+                JournalEntry::Appended(s) => sigs.extend(s.iter().cloned()),
+                JournalEntry::Structural => return HistoryDelta::Structural,
+            }
+        }
+        // A gap at either end means the journal no longer covers the span
+        // (entries pruned past `JOURNAL_CAP`).
+        if expected != current + 1 {
+            return HistoryDelta::Structural;
+        }
+        HistoryDelta::Appended(sigs)
+    }
+
+    fn bump(&self, entry: JournalEntry) {
+        // The journal lock serializes bumps: each generation value gets
+        // exactly one contiguous journal entry, and the entry is visible to
+        // anyone who observed the bumped generation (their lock acquisition
+        // in `delta_since` synchronizes with this critical section).
+        let mut journal = self.journal.lock();
+        let gen = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        journal.push_back((gen, entry));
+        while journal.len() > JOURNAL_CAP {
+            journal.pop_front();
+        }
     }
 
     /// Serializes the history to its backing file.
@@ -831,6 +967,102 @@ mod tests {
         assert_eq!(&*f.function, "op|weird\\name");
         assert_eq!(&*f.file, "dir|x/y.rs");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_since_reports_pure_appends() {
+        let env = Env::new();
+        let h = History::new();
+        let g0 = h.generation();
+        let a = h
+            .add(CycleKind::Deadlock, vec![env.stack(&[1])], 4)
+            .unwrap();
+        let b = h
+            .add(CycleKind::Deadlock, vec![env.stack(&[2])], 4)
+            .unwrap();
+        match h.delta_since(g0) {
+            HistoryDelta::Appended(sigs) => {
+                assert_eq!(
+                    sigs.iter().map(|s| s.id).collect::<Vec<_>>(),
+                    vec![a.id, b.id]
+                );
+            }
+            HistoryDelta::Structural => panic!("append-only span reported structural"),
+        }
+        // A consumer already at the head has nothing to do.
+        assert!(matches!(
+            h.delta_since(h.generation()),
+            HistoryDelta::Appended(s) if s.is_empty()
+        ));
+    }
+
+    #[test]
+    fn delta_since_degrades_to_structural() {
+        let env = Env::new();
+        let h = History::new();
+        let sig = h
+            .add(CycleKind::Deadlock, vec![env.stack(&[1])], 4)
+            .unwrap();
+        let g = h.generation();
+        h.touch();
+        assert!(matches!(h.delta_since(g), HistoryDelta::Structural));
+        let g = h.generation();
+        h.add(CycleKind::Deadlock, vec![env.stack(&[2])], 4)
+            .unwrap();
+        h.remove(sig.id);
+        assert!(matches!(h.delta_since(g), HistoryDelta::Structural));
+        // A from-generation ahead of the head (sentinel views) is structural.
+        assert!(matches!(h.delta_since(u64::MAX), HistoryDelta::Structural));
+        // A span starting before the journal's retention window is too.
+        let g = h.generation();
+        for i in 0..(JOURNAL_CAP as u32 + 8) {
+            h.add(CycleKind::Deadlock, vec![env.stack(&[100 + i])], 4);
+        }
+        assert!(matches!(h.delta_since(g), HistoryDelta::Structural));
+    }
+
+    #[test]
+    fn batch_add_costs_one_generation_and_dedups() {
+        let env = Env::new();
+        let h = History::new();
+        let a = env.stack(&[1]);
+        let b = env.stack(&[2]);
+        h.add(CycleKind::Deadlock, vec![a], 4).unwrap();
+        let g = h.generation();
+        let mut finalized = 0;
+        let added = h.add_batch_with_provenance(
+            vec![
+                // Duplicate of an existing signature: skipped.
+                (CycleKind::Deadlock, vec![a], 4, Provenance::Predicted),
+                (CycleKind::Deadlock, vec![b], 4, Provenance::Predicted),
+                // Duplicate of an earlier batch item: skipped.
+                (CycleKind::Deadlock, vec![b], 4, Provenance::Predicted),
+                (CycleKind::Deadlock, vec![a, b], 4, Provenance::Predicted),
+            ],
+            |sig| {
+                // Finalization runs before visibility: depth changes here
+                // must not require a second bump.
+                sig.set_depth(2);
+                finalized += 1;
+            },
+        );
+        assert_eq!(added.len(), 2);
+        assert_eq!(finalized, 2);
+        assert_eq!(h.generation(), g + 1, "one bump for the whole batch");
+        assert_eq!(h.len(), 3);
+        assert!(added.iter().all(|s| s.depth() == 2));
+        match h.delta_since(g) {
+            HistoryDelta::Appended(sigs) => assert_eq!(sigs.len(), 2),
+            HistoryDelta::Structural => panic!("batch append reported structural"),
+        }
+        // An all-duplicate batch is a no-op: no bump at all.
+        let g2 = h.generation();
+        let none = h.add_batch_with_provenance(
+            vec![(CycleKind::Deadlock, vec![b], 4, Provenance::Predicted)],
+            |_| {},
+        );
+        assert!(none.is_empty());
+        assert_eq!(h.generation(), g2);
     }
 
     #[test]

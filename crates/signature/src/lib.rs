@@ -36,7 +36,7 @@ pub mod stack;
 
 pub use calibration::{CalibrationConfig, CalibrationState, CalibrationUpdate, Phase};
 pub use frame::{Frame, FrameId, FrameTable};
-pub use history::{History, HistoryError};
+pub use history::{History, HistoryDelta, HistoryError};
 pub use match_index::{BucketLayout, Candidate, CandidateSet, CoverKeys, MatchIndex, MemberKey};
 pub use signature::{CycleKind, Provenance, SigId, Signature};
 pub use stack::{suffix_matches, suffix_of, CallStack, StackId, StackTable};

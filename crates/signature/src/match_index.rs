@@ -103,41 +103,79 @@ type SlotMap = HashMap<Box<[FrameId]>, u32>;
 /// order. The avoidance engine sizes its versioned bucket array from
 /// [`BucketLayout::len`] and routes every bucket insert/remove/probe
 /// through [`BucketLayout::slot_of`].
+///
+/// Slot assignments are **append-stable**: because slots are handed out in
+/// snapshot × member order and the history only ever appends (removals and
+/// depth changes force a full rebuild), [`BucketLayout::extended`] over the
+/// appended signatures produces bit-identical slot numbering to a fresh
+/// [`BucketLayout::build`] over the grown history — existing slots are
+/// never renumbered, new keys take slots `[base.len, ..)`. Depth layers are
+/// `Arc`-shared with the base layout; only layers gaining keys are cloned.
 #[derive(Debug, Default)]
 pub struct BucketLayout {
     /// `(depth, suffix → slot)`, ascending by depth (borrowed lookups).
-    by_depth: Vec<(u8, SlotMap)>,
+    by_depth: Vec<(u8, Arc<SlotMap>)>,
     len: u32,
 }
 
 impl BucketLayout {
     /// Builds the layout for the current contents of `history`.
     pub fn build(history: &History, stacks: &StackTable) -> Self {
-        let snapshot = history.snapshot();
+        Self::build_from(&history.snapshot(), stacks)
+    }
+
+    /// Builds the layout for one explicit signature snapshot. Consumers
+    /// that also derive *other* state from the signature list (e.g.
+    /// [`MatchIndex::build`]'s candidate sets) must build everything from
+    /// a single snapshot — the history may be appended to concurrently,
+    /// and state derived from two reads can disagree about which
+    /// signatures exist.
+    pub fn build_from(snapshot: &[Arc<Signature>], stacks: &StackTable) -> Self {
         let mut layout = Self::default();
-        for sig in snapshot.iter() {
-            if sig.is_disabled() {
-                continue;
-            }
-            let depth = sig.depth();
-            for &stack in &sig.stacks {
-                let frames = stacks.resolve(stack);
-                let suffix = suffix_of(&frames, depth as usize);
-                let map = match layout.by_depth.iter_mut().find(|(d, _)| *d == depth) {
-                    Some((_, map)) => map,
-                    None => {
-                        layout.by_depth.push((depth, HashMap::new()));
-                        &mut layout.by_depth.last_mut().expect("just pushed").1
-                    }
-                };
-                if !map.contains_key(suffix) {
-                    map.insert(suffix.into(), layout.len);
-                    layout.len += 1;
-                }
-            }
+        for sig in snapshot {
+            layout.add_signature(sig, stacks);
         }
         layout.by_depth.sort_unstable_by_key(|&(d, _)| d);
         layout
+    }
+
+    /// Extends `base` with the member keys of `new_sigs` (appended to the
+    /// history after `base` was built), without renumbering any existing
+    /// slot. See the type docs for why the result is identical to a fresh
+    /// build over the grown history.
+    pub fn extended(base: &Self, new_sigs: &[Arc<Signature>], stacks: &StackTable) -> Self {
+        let mut layout = Self {
+            by_depth: base.by_depth.clone(),
+            len: base.len,
+        };
+        for sig in new_sigs {
+            layout.add_signature(sig, stacks);
+        }
+        layout.by_depth.sort_unstable_by_key(|&(d, _)| d);
+        layout
+    }
+
+    /// Assigns dense slots to `sig`'s not-yet-present member keys.
+    fn add_signature(&mut self, sig: &Arc<Signature>, stacks: &StackTable) {
+        if sig.is_disabled() {
+            return;
+        }
+        let depth = sig.depth();
+        for &stack in &sig.stacks {
+            let frames = stacks.resolve(stack);
+            let suffix = suffix_of(&frames, depth as usize);
+            let map = match self.by_depth.iter_mut().find(|(d, _)| *d == depth) {
+                Some((_, map)) => map,
+                None => {
+                    self.by_depth.push((depth, Arc::new(HashMap::new())));
+                    &mut self.by_depth.last_mut().expect("just pushed").1
+                }
+            };
+            if !map.contains_key(suffix) {
+                Arc::make_mut(map).insert(suffix.into(), self.len);
+                self.len += 1;
+            }
+        }
     }
 
     /// Number of distinct `(depth, suffix)` keys (== bucket slots).
@@ -163,6 +201,19 @@ impl BucketLayout {
         self.by_depth.iter().map(|&(d, _)| d)
     }
 
+    /// Iterates the `(depth, suffix, slot)` keys whose slot is `>= from` —
+    /// for a layout produced by [`BucketLayout::extended`], exactly the
+    /// keys appended on top of a base layout of length `from` (append
+    /// stability: surviving keys keep slots `< from`). The delta rebuild
+    /// uses this to compute which buckets need patching.
+    pub fn keys_from(&self, from: u32) -> impl Iterator<Item = (u8, &[FrameId], u32)> {
+        self.by_depth.iter().flat_map(move |(d, map)| {
+            map.iter().filter_map(move |(suffix, &slot)| {
+                (slot >= from).then_some((*d, &suffix[..], slot))
+            })
+        })
+    }
+
     /// Whether any depth's suffix of `stack` is a member key — i.e. whether
     /// an `Allowed` entry with these frames could ever participate in an
     /// exact cover under this layout (the request fast path's relevance
@@ -175,7 +226,7 @@ impl BucketLayout {
 }
 
 /// A signature member carrying a given suffix.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Candidate {
     /// The signature.
     pub sig: Arc<Signature>,
@@ -191,7 +242,7 @@ pub struct Candidate {
 /// the suffix, and in the common all-refuted case the scan must not chase
 /// a single per-candidate `Arc` — just contiguous slot indices plus one
 /// fingerprint load each.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CandidateSet {
     candidates: Vec<Candidate>,
     /// Concatenation of every candidate's *other-member* bucket slots.
@@ -282,8 +333,12 @@ type SuffixMap = HashMap<Box<[FrameId]>, CandidateSet>;
 
 /// Immutable index over one history generation.
 ///
-/// Rebuild (cheaply) whenever [`History::generation`] moves — membership or
-/// matching-depth changes both bump it.
+/// Rebuild whenever [`History::generation`] moves — membership or
+/// matching-depth changes both bump it. For pure appends,
+/// [`MatchIndex::extended`] patches a copy instead of rebuilding: depth
+/// layers untouched by the appended signatures are `Arc`-shared with the
+/// base index, and existing candidates keep their (slot-stable, see
+/// [`BucketLayout`]) precomputed [`CoverKeys`].
 #[derive(Debug)]
 pub struct MatchIndex {
     /// Generation of the history this index was built from.
@@ -291,7 +346,7 @@ pub struct MatchIndex {
     /// `(depth, suffix → candidates)`, ascending by depth. Candidate order
     /// within a bucket follows history-snapshot order — the cover search
     /// (and hence yield causes) must be deterministic.
-    by_depth: Vec<(u8, SuffixMap)>,
+    by_depth: Vec<(u8, Arc<SuffixMap>)>,
     /// Dense bucket-slot directory for this generation; every candidate's
     /// [`CoverKeys`] members carry slots resolved against it.
     layout: Arc<BucketLayout>,
@@ -300,50 +355,90 @@ pub struct MatchIndex {
 impl MatchIndex {
     /// Builds an index over the current contents of `history`.
     pub fn build(history: &History, stacks: &StackTable) -> Self {
+        // Generation first, then ONE snapshot for both the layout and the
+        // candidate sets. Appends may land between the two reads; that
+        // direction is benign — the index then *contains* signatures newer
+        // than the generation it advertises, and the next (delta) rebuild
+        // re-derives them idempotently. What must never happen is the
+        // layout and the candidates coming from *different* snapshots: a
+        // candidate whose member key the layout missed has no slot to
+        // resolve against (this was an observed panic under concurrent
+        // vaccination).
         let generation = history.generation();
-        let layout = Arc::new(BucketLayout::build(history, stacks));
         let snapshot = history.snapshot();
-        let mut by_depth: Vec<(u8, SuffixMap)> = Vec::new();
-        for sig in snapshot.iter() {
-            if sig.is_disabled() {
-                continue;
-            }
-            let depth = sig.depth();
-            let mut keys = CoverKeys::compute(sig, depth, stacks);
-            keys.resolve(&layout);
-            let keys = Arc::new(keys);
-            let map = match by_depth.iter_mut().find(|(d, _)| *d == depth) {
-                Some((_, map)) => map,
-                None => {
-                    by_depth.push((depth, HashMap::new()));
-                    &mut by_depth.last_mut().expect("just pushed").1
-                }
-            };
-            for (member, key) in keys.members.iter().enumerate() {
-                let others = keys
-                    .members
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != member)
-                    .map(|(_, mk)| mk.slot.expect("key resolved against own layout"));
-                let self_slot = key.slot.expect("key resolved against own layout");
-                map.entry(key.suffix.clone())
-                    .or_insert_with(|| CandidateSet::new(self_slot))
-                    .push(
-                        Candidate {
-                            sig: Arc::clone(sig),
-                            member,
-                            keys: Arc::clone(&keys),
-                        },
-                        others,
-                    );
-            }
-        }
-        by_depth.sort_unstable_by_key(|&(d, _)| d);
-        Self {
+        let layout = Arc::new(BucketLayout::build_from(&snapshot, stacks));
+        let mut index = Self {
             generation,
-            by_depth,
+            by_depth: Vec::new(),
             layout,
+        };
+        for sig in snapshot.iter() {
+            index.add_signature(sig, stacks);
+        }
+        index.by_depth.sort_unstable_by_key(|&(d, _)| d);
+        index
+    }
+
+    /// Extends `base` with candidates for `new_sigs` (appended to the
+    /// history after `base` was built) under `layout` (itself extended from
+    /// `base.layout()`), producing the index `generation` describes. Because
+    /// appends land at the snapshot's tail and slots are append-stable, the
+    /// result is identical to a fresh [`MatchIndex::build`] at that
+    /// generation — at the cost of the affected depth layers only.
+    pub fn extended(
+        base: &Self,
+        generation: u64,
+        layout: Arc<BucketLayout>,
+        new_sigs: &[Arc<Signature>],
+        stacks: &StackTable,
+    ) -> Self {
+        let mut index = Self {
+            generation,
+            by_depth: base.by_depth.clone(),
+            layout,
+        };
+        for sig in new_sigs {
+            index.add_signature(sig, stacks);
+        }
+        index.by_depth.sort_unstable_by_key(|&(d, _)| d);
+        index
+    }
+
+    /// Appends `sig`'s members to the candidate sets of its depth layer.
+    fn add_signature(&mut self, sig: &Arc<Signature>, stacks: &StackTable) {
+        if sig.is_disabled() {
+            return;
+        }
+        let depth = sig.depth();
+        let mut keys = CoverKeys::compute(sig, depth, stacks);
+        keys.resolve(&self.layout);
+        let keys = Arc::new(keys);
+        let map = match self.by_depth.iter_mut().find(|(d, _)| *d == depth) {
+            Some((_, map)) => map,
+            None => {
+                self.by_depth.push((depth, Arc::new(HashMap::new())));
+                &mut self.by_depth.last_mut().expect("just pushed").1
+            }
+        };
+        let map = Arc::make_mut(map);
+        for (member, key) in keys.members.iter().enumerate() {
+            let others = keys
+                .members
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != member)
+                .map(|(_, mk)| mk.slot.expect("key resolved against own layout"));
+            let self_slot = key.slot.expect("key resolved against own layout");
+            map.entry(key.suffix.clone())
+                .or_insert_with(|| CandidateSet::new(self_slot))
+                .push(
+                    Candidate {
+                        sig: Arc::clone(sig),
+                        member,
+                        keys: Arc::clone(&keys),
+                    },
+                    others,
+                );
         }
     }
 
@@ -575,6 +670,123 @@ mod tests {
         let ids2: Vec<_> = idx.candidates(&probe2).map(|c| c.sig.id).collect();
         assert!(ids2.contains(&shallow.id));
         assert!(!ids2.contains(&deep.id));
+    }
+
+    #[test]
+    fn extended_layout_and_index_match_full_build() {
+        let env = Env::new();
+        // Base: two signatures at depths 2 and 1.
+        let s1 = env.stack(&[1, 5, 6]);
+        let s2 = env.stack(&[2, 5, 7]);
+        env.history
+            .add(CycleKind::Deadlock, vec![s1, s2], 2)
+            .unwrap();
+        env.history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[3, 8]), env.stack(&[4, 9])],
+                1,
+            )
+            .unwrap();
+        let base_layout = BucketLayout::build(&env.history, &env.stacks);
+        let base_index = MatchIndex::build(&env.history, &env.stacks);
+
+        // Appends: one sharing suffix [5, 6] with the base, one at a brand
+        // new depth, one disabled (must stay invisible).
+        let n1 = env
+            .history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[9, 5, 6]), env.stack(&[9, 5, 8])],
+                2,
+            )
+            .unwrap();
+        let n2 = env
+            .history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[1, 2, 3]), env.stack(&[4, 5, 6])],
+                3,
+            )
+            .unwrap();
+        let n3 = env
+            .history
+            .add(
+                CycleKind::Deadlock,
+                vec![env.stack(&[7, 7]), env.stack(&[8, 8])],
+                2,
+            )
+            .unwrap();
+        n3.set_disabled(true);
+        let new_sigs = vec![n1, n2, n3];
+
+        let ext_layout = Arc::new(BucketLayout::extended(&base_layout, &new_sigs, &env.stacks));
+        let full_layout = BucketLayout::build(&env.history, &env.stacks);
+        assert_eq!(ext_layout.len(), full_layout.len());
+        assert_eq!(
+            ext_layout.depths().collect::<Vec<_>>(),
+            full_layout.depths().collect::<Vec<_>>()
+        );
+        for (d, map) in &full_layout.by_depth {
+            for (suffix, slot) in map.iter() {
+                assert_eq!(ext_layout.slot_of(*d, suffix), Some(*slot));
+            }
+        }
+        // Every pre-existing slot survived verbatim (append stability).
+        for (d, map) in &base_layout.by_depth {
+            for (suffix, slot) in map.iter() {
+                assert_eq!(ext_layout.slot_of(*d, suffix), Some(*slot));
+            }
+        }
+
+        let gen = env.history.generation();
+        let ext = MatchIndex::extended(
+            &base_index,
+            gen,
+            Arc::clone(&ext_layout),
+            &new_sigs,
+            &env.stacks,
+        );
+        let full = MatchIndex::build(&env.history, &env.stacks);
+        assert_eq!(ext.generation(), full.generation());
+        for (d, map) in &full.by_depth {
+            let ext_map = ext
+                .by_depth
+                .iter()
+                .find(|(ed, _)| ed == d)
+                .map(|(_, m)| m)
+                .expect("depth layer present in extension");
+            assert_eq!(map.len(), ext_map.len());
+            for (suffix, set) in map.iter() {
+                let eset = ext_map.get(suffix).expect("suffix present in extension");
+                assert_eq!(set.self_slot(), eset.self_slot());
+                assert_eq!(set.self_paired(), eset.self_paired());
+                assert_eq!(set.has_lone_member(), eset.has_lone_member());
+                assert_eq!(set.all_other_slots(), eset.all_other_slots());
+                assert_eq!(set.candidates().len(), eset.candidates().len());
+                for (c, e) in set.candidates().iter().zip(eset.candidates()) {
+                    assert_eq!(c.sig.id, e.sig.id);
+                    assert_eq!(c.member, e.member);
+                    let cs: Vec<_> = c.keys.members.iter().map(|m| m.slot).collect();
+                    let es: Vec<_> = e.keys.members.iter().map(|m| m.slot).collect();
+                    assert_eq!(cs, es);
+                }
+            }
+        }
+        // The untouched depth-1 layer is shared, not cloned.
+        let base_d1 = base_index
+            .by_depth
+            .iter()
+            .find(|(d, _)| *d == 1)
+            .map(|(_, m)| m)
+            .unwrap();
+        let ext_d1 = ext
+            .by_depth
+            .iter()
+            .find(|(d, _)| *d == 1)
+            .map(|(_, m)| m)
+            .unwrap();
+        assert!(Arc::ptr_eq(base_d1, ext_d1), "depth-1 layer must be shared");
     }
 
     #[test]
