@@ -427,6 +427,19 @@ fn main() {
     let quick =
         args.iter().any(|a| a == "--quick") || std::env::var("DIMMUNIX_BENCH_QUICK").is_ok();
     let check_baseline = args.iter().any(|a| a == "--check-baseline");
+    // The baseline gate is only meaningful against a production build: the
+    // bench's dependency graph must not have unified the chaos suite's
+    // `fault-inject` feature into the core. A workspace-root `cargo bench`
+    // pulls the test-only chaos crate into the graph and compiles the hooks
+    // in; the gated CI smoke must run via `-p dimmunix_bench` instead,
+    // whose graph excludes it.
+    if check_baseline {
+        assert!(
+            !dimmunix_core::fault_injection_compiled(),
+            "--check-baseline measured a build with fault-injection hooks compiled in; \
+             run it as `cargo bench -p dimmunix_bench --bench hot_path`"
+        );
+    }
     // Developer knobs for low-noise iteration on one row (no baseline is
     // written when a filter is active): DIMMUNIX_BENCH_ONLY=same_sig,...
     // restricts the matrix; DIMMUNIX_BENCH_OPS overrides ops/thread.

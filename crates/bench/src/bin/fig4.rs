@@ -99,6 +99,7 @@ fn main() {
             "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
             "Prediction [edges cycles sigs guard-suppr]",
             "Rebuild µs hist [1 4 16 64 256 1k 4k inf]",
+            "Robustness [panics restarts salvaged]",
         ],
         &lag_rows,
     );
@@ -139,5 +140,9 @@ fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
             s.prediction_guard_suppressed
         ),
         dimmunix_bench::report::rebuild_cell(&s),
+        format!(
+            "{} {} {}",
+            s.panic_cleanups, s.monitor_restarts, s.history_salvaged
+        ),
     ]
 }

@@ -78,6 +78,10 @@ fn main() {
                     stats.prediction_guard_suppressed
                 ),
                 dimmunix_bench::report::rebuild_cell(&stats),
+                format!(
+                    "{} {} {}",
+                    stats.panic_cleanups, stats.monitor_restarts, stats.history_salvaged
+                ),
             ]);
             rt.shutdown();
             rows.push(vec![
@@ -110,6 +114,7 @@ fn main() {
                 "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
                 "Prediction [edges cycles sigs guard-suppr]",
                 "Rebuild µs hist [1 4 16 64 256 1k 4k inf]",
+                "Robustness [panics restarts salvaged]",
             ],
             &lag_rows,
         );

@@ -1,0 +1,72 @@
+//! Shared helpers for the chaos suite.
+//!
+//! The actual chaos scenarios live in this crate's `tests/` directory;
+//! everything here is plumbing: panic-report filtering for scripted
+//! faults, watchdogged joins that turn hangs into failures, and unique
+//! temp paths.
+//!
+//! This crate exists as a *workspace member* so that plain `cargo test`
+//! from the repo root compiles `dimmunix_core` with its `fault-inject`
+//! feature (cargo feature unification) and runs the chaos suite as part of
+//! tier-1. Production builds that don't include this crate in their graph
+//! (notably `cargo bench -p dimmunix_bench`) get a hook-free core, which
+//! the bench's `--check-baseline` smoke asserts via
+//! [`dimmunix_core::fault_injection_compiled`].
+
+#![warn(missing_docs)]
+
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+/// Installs (once) a panic hook that suppresses the reports of *scripted*
+/// panics — payloads mentioning `dimmunix fault injection` or
+/// `scripted` — while passing everything else (e.g. failing assertions in
+/// a parallel test) to the previous hook.
+pub fn quiet_scripted_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !(msg.contains("dimmunix fault injection") || msg.contains("scripted")) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Polls `handles` until all finish, failing with `ctx()` if `timeout`
+/// expires first — the no-hang watchdog. Scripted panics surface as `Err`
+/// from `join`, which is expected; the caller decides what to assert.
+pub fn watchdog_join<T>(
+    handles: Vec<std::thread::JoinHandle<T>>,
+    timeout: Duration,
+    ctx: impl Fn() -> String,
+) -> Vec<std::thread::Result<T>> {
+    let deadline = Instant::now() + timeout;
+    let mut out = Vec::new();
+    for h in handles {
+        while !h.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "chaos watchdog: thread still parked/running: {}",
+                ctx()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        out.push(h.join());
+    }
+    out
+}
+
+/// A per-process-unique temp path under a chaos-suite directory.
+pub fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dimmunix-chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.dlk", std::process::id()))
+}

@@ -158,6 +158,25 @@
 //! drain observes it), and the path becomes effectively wait-free under
 //! adversarial churn.
 //!
+//! # Exit and unwind cleanup
+//!
+//! A registered thread that dies — orderly return or panic — while holding
+//! locks would otherwise strand its owner-table entries, its bucketed
+//! `Allowed` entries, and (worst) the yielders parked against it as a
+//! cause, forever. [`AvoidanceCore::unregister_thread_waking`] is the exit
+//! sweep: it removes the thread's entries from every owner shard and every
+//! bucket, clears its yield state, and *then* drains its wake list through
+//! the caller's waker — removals strictly before wakes, so a woken
+//! yielder's retried request can never re-yield on the dead thread's
+//! entries (each delivered wake counts `orphan_wakes`). The runtime runs
+//! the sweep from the thread-local `Registration`'s `Drop`, which executes
+//! during TLS teardown — *after* the thread boundary has already caught a
+//! panic, where `std::thread::panicking()` is false again. Panic exits are
+//! therefore detected by a per-slot latch instead: any hook that runs
+//! mid-unwind (a RAII guard's `release`, a scripted fault) latches
+//! `ThreadSlot::panicked`, and the sweep classifies the exit as a
+//! `panic_cleanups` when the latch is set.
+//!
 //! The engine is *thread-agnostic*: callers pass explicit [`ThreadId`]s, so
 //! both real OS threads (via [`crate::runtime::Runtime`]) and simulated
 //! threads (via `dimmunix-threadsim`) drive the same decision logic. The
@@ -268,6 +287,25 @@ impl OwnerTable {
                 }
             }
         }
+    }
+
+    /// Removes every entry owned by `t` across all shards — the exit/unwind
+    /// sweep for a thread that may have died mid-critical-section — and
+    /// returns the swept locks.
+    fn release_all(&self, t: ThreadId) -> Vec<LockId> {
+        let mut swept = Vec::new();
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            shard.retain(|&l, &mut (owner, _)| {
+                if owner == t {
+                    swept.push(l);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        swept
     }
 
     fn len(&self) -> usize {
@@ -615,6 +653,12 @@ pub(crate) struct ThreadSlot {
     /// Mirror of "this thread is registered as yielding", read by the
     /// owner thread to decide whether a GO must retract a registration.
     in_yielding: AtomicBool,
+    /// Latched when a hook observes this thread unwinding (a RAII guard
+    /// releasing during a panic). `Registration`'s drop runs in TLS
+    /// teardown — *after* the thread boundary caught the panic, when
+    /// `std::thread::panicking()` is already false — so this latch is how
+    /// the exit sweep still classifies the exit as a panic cleanup.
+    panicked: AtomicBool,
 }
 
 /// What a yielding thread is waiting out.
@@ -690,12 +734,37 @@ impl AvoidanceCore {
     /// allocates the thread's event lane.
     pub fn register_thread(&self) -> Option<ThreadId> {
         let slot = self.slot_alloc.acquire()?;
+        self.slots[slot]
+            .panicked
+            .store(false, std::sync::atomic::Ordering::Relaxed);
         self.lanes.register(slot);
         Some(ThreadId(slot as u64))
     }
 
-    /// Deregisters `t`, releasing its slot and cleaning its state.
+    /// Whether a hook has observed `t` unwinding (see `ThreadSlot::panicked`).
+    pub(crate) fn thread_panicked(&self, t: ThreadId) -> bool {
+        self.slots[t.0 as usize]
+            .panicked
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Deregisters `t`, releasing its slot and cleaning its state. Yielders
+    /// whose cause was `t` get no wake through this entry point (no waker
+    /// handle); the max-yield bound rescues them. Prefer
+    /// [`AvoidanceCore::unregister_thread_waking`] wherever a waker exists.
     pub fn unregister_thread(&self, t: ThreadId) {
+        self.unregister_thread_waking(t, &mut |_| {});
+    }
+
+    /// Deregisters `t` with a waker: cleans its yield state, sweeps any
+    /// owner-table entries it still holds (it may have panicked
+    /// mid-critical-section), drops its `Allowed` entries from the shared
+    /// buckets, hands every live yielder parked on `t` as its cause to
+    /// `wake` (counted in `orphan_wakes` — their release will never come),
+    /// emits `ThreadExit`, and frees the slot. This is the unwind-safe exit
+    /// path: a panicking registered thread reaches it via `Registration`'s
+    /// `Drop`.
+    pub fn unregister_thread_waking(&self, t: ThreadId, wake: &mut dyn FnMut(ThreadId)) {
         let slot = t.0 as usize;
         {
             let mut ys = self.slots[slot].yield_state.lock();
@@ -704,6 +773,10 @@ impl AvoidanceCore {
         self.slots[slot].yield_set.store(false, Ordering::Relaxed);
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             self.remove_yielding(t);
+            // Sweep owner entries the thread never released (panic inside a
+            // critical section). The monitor's RAG drops the hold edges via
+            // `ThreadExit`, so no per-lock Release events are needed.
+            self.owner.release_all(t);
             // Drop any Allowed entries the thread leaked; bucket removal is
             // tolerant, so unfiltered attempts are fine here.
             let (drained, view) = {
@@ -721,14 +794,23 @@ impl AvoidanceCore {
                     }
                 }
             }
-            // Free every wake registration parked against this thread.
-            // Valid yielders among them get no wake (this engine has no
-            // waker handle) — parity with the old wake index, whose
-            // entries for an exited cause thread also went undelivered;
-            // the max-yield bound rescues those yielders.
-            self.slots[slot]
-                .wake_list
-                .drain_into(&self.slots[slot].wake_pool, |_, _, _| DrainVerdict::Consume);
+            // Drain every wake registration parked against this thread.
+            // Live yielders among them are woken through the caller's
+            // handle: their cause is exiting, so the release they are
+            // waiting out will never happen. The bucket removals above
+            // precede this drain, so a woken yielder's re-request cannot
+            // find the dead thread's entries and re-yield on them.
+            self.slots[slot].wake_list.drain_into(
+                &self.slots[slot].wake_pool,
+                |_, yielder, epoch| {
+                    let y = yielder as usize;
+                    if self.slots[y].wake_epoch.load(Ordering::Acquire) == epoch {
+                        Stats::bump(&self.stats.orphan_wakes);
+                        wake(ThreadId(yielder));
+                    }
+                    DrainVerdict::Consume
+                },
+            );
         }
         self.lanes.push(slot, Event::ThreadExit { t });
         self.slot_alloc.release(slot);
@@ -914,6 +996,19 @@ impl AvoidanceCore {
     /// The `acquired` hook: the lock was actually obtained. Touches only the
     /// owner shard for this lock.
     pub fn acquired(&self, t: ThreadId, l: LockId, stack: StackId) {
+        #[cfg(feature = "fault-inject")]
+        if dimmunix_inject::should_panic_on_acquire(t.0 as usize) {
+            // Latch before unwinding: the scripted panic may be the only
+            // unwind-time hook this thread ever runs (raw locks have no
+            // RAII guard to pass through `release`).
+            self.slots[t.0 as usize]
+                .panicked
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+            panic!(
+                "dimmunix fault injection: scripted panic at acquire (thread slot {}, lock {})",
+                t.0, l.0
+            );
+        }
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             self.owner.acquire(l, t);
         }
@@ -1001,6 +1096,14 @@ impl AvoidanceCore {
     /// threads whose yields were caused by `(t, l)` — the caller must wake
     /// them *after* performing the real unlock.
     pub fn release(&self, t: ThreadId, l: LockId) -> Vec<ThreadId> {
+        // A release arriving mid-unwind is a RAII guard dropping during a
+        // panic: latch it so the TLS-teardown exit sweep (which runs after
+        // the panic was caught) can still classify the exit correctly.
+        if std::thread::panicking() {
+            self.slots[t.0 as usize]
+                .panicked
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
         let mut wake = Vec::new();
         if self.config.mode != RuntimeMode::InstrumentationOnly {
             let slot = t.0 as usize;

@@ -146,6 +146,21 @@ pub struct Config {
     /// `structural_false_positives`. Independent of the retrospective
     /// lock-inversion analysis.
     pub structural_fp_reference_depth: Option<u8>,
+    /// How many monitor-pass panics the supervisor absorbs by restarting
+    /// the monitor (tracker state rebuilt from the last good RAG snapshot)
+    /// before giving up and switching the runtime into degraded
+    /// pass-through mode. Default 3.
+    pub monitor_restart_budget: u32,
+    /// Upper bound applied to every yield park while in degraded mode (no
+    /// live monitor means nobody will ever break a stuck yield), replacing
+    /// [`Config::max_yield_duration`] when that is `None` or larger.
+    /// Default 50 ms.
+    pub degraded_yield_wait: Duration,
+    /// Attempt to salvage the valid prefix of a torn/corrupt history file
+    /// at load time instead of failing `Runtime::start`. The recovery is
+    /// reported via `Runtime::history_recovery` and counted in
+    /// [`crate::stats::Stats::history_salvaged`]. Default `true`.
+    pub history_salvage: bool,
 }
 
 impl Default for Config {
@@ -168,6 +183,9 @@ impl Default for Config {
             occupancy_slots: None,
             cover_retry_limit: 8,
             structural_fp_reference_depth: None,
+            monitor_restart_budget: 3,
+            degraded_yield_wait: Duration::from_millis(50),
+            history_salvage: true,
         }
     }
 }

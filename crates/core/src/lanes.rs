@@ -107,6 +107,16 @@ impl EventLanes {
             self.overflow.push((slot, seq, event));
             return;
         };
+        #[cfg(feature = "fault-inject")]
+        if dimmunix_inject::force_lane_overflow() {
+            // Scripted backpressure: divert this push onto the overflow
+            // path as if the ring were full, exercising the spill/resume
+            // ordering rules under load.
+            lane.spilled.store(true, Ordering::Relaxed);
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            self.overflow.push((slot, seq, event));
+            return;
+        }
         if lane.spilled.load(Ordering::Relaxed) {
             if self.overflow.is_empty() {
                 // Our spilled events are counted in the overflow length, so

@@ -87,6 +87,14 @@ pub use sync::{ImmunizedMutex, ImmunizedMutexGuard, ReentrantGuard, ReentrantLoc
 pub use dimmunix_predict::{PredictionConfig, PredictorStats};
 pub use dimmunix_rag::{LockId, ThreadId, YieldCause};
 pub use dimmunix_signature::{
-    CalibrationConfig, CycleKind, Frame, FrameId, FrameTable, History, HistoryError, Provenance,
-    SigId, Signature, StackId, StackTable,
+    CalibrationConfig, CycleKind, Frame, FrameId, FrameTable, History, HistoryError,
+    HistoryRecovery, Provenance, SigId, Signature, StackId, StackTable,
 };
+
+/// Whether the deterministic fault-injection hooks (`fault-inject` feature)
+/// were compiled into this build. Production builds must report `false`;
+/// the `hot_path` bench's `--check-baseline` smoke asserts it, guaranteeing
+/// the chaos machinery carries zero hot-path cost when disabled.
+pub fn fault_injection_compiled() -> bool {
+    cfg!(feature = "fault-inject")
+}

@@ -33,6 +33,30 @@
 //! can either spawn it on a dedicated thread with period τ, or call
 //! [`Monitor::step`] manually ("embedded mode") — which is how the
 //! deterministic thread simulator drives it.
+//!
+//! # Supervision and degradation
+//!
+//! The monitor is the immunity runtime's single point of failure, so the
+//! runtime supervises it: a panic escaping a pass is caught, counted in
+//! [`Stats::monitor_restarts`], and the monitor is rebuilt via
+//! [`Monitor::respawn`] — a fresh instance seeded with the RAG snapshot
+//! taken at the end of the last *successful* pass ([`last_good`]). Probe
+//! and predictor state may have been mid-mutation when the pass died, so
+//! it is not carried over; open probes are abandoned (a missed calibration
+//! sample, never a correctness loss) and the predictor rebuilds its
+//! lock-order graph from subsequent events.
+//!
+//! After `Config::monitor_restart_budget` consecutive restarts the runtime
+//! stops resurrecting detection and enters *degraded mode*
+//! ([`Stats::degraded_mode`]): each period it runs [`Monitor::degraded_step`]
+//! instead — a pass-through pass that drains and discards events (bounding
+//! lane memory), keeps republishing the match view (so avoidance decisions
+//! stay sound against the last published history), and skips detection,
+//! prediction, starvation breaking and saves. Yielding threads park with
+//! the bounded `Config::degraded_yield_wait` instead of waiting on a
+//! monitor that will never break their starvation.
+//!
+//! [`last_good`]: Monitor::respawn
 
 use crate::avoidance::AvoidanceCore;
 use crate::config::{Config, Immunity};
@@ -154,9 +178,16 @@ impl FpProbe {
     }
 }
 
+/// Upper bound on events drained per pass, so a hot producer cannot wedge
+/// the monitor.
+const DRAIN_CAP: usize = 1 << 20;
+
 /// The monitor state machine.
 pub struct Monitor {
     rag: Rag,
+    /// RAG snapshot taken at the end of the last successful pass; the
+    /// supervisor seeds a restarted monitor from it (see [`Monitor::respawn`]).
+    last_good: Rag,
     probes: Vec<FpProbe>,
     /// Lock-order-graph deadlock predictor (`Config::prediction`).
     predictor: Option<Predictor>,
@@ -201,6 +232,7 @@ impl Monitor {
         };
         Self {
             rag: Rag::new(),
+            last_good: Rag::new(),
             probes: Vec::new(),
             predictor,
             predicted_budget_used,
@@ -232,6 +264,14 @@ impl Monitor {
     /// every thread whose yield the monitor breaks.
     pub fn step(&mut self, core: &AvoidanceCore, waker: &dyn Fn(ThreadId)) {
         Stats::bump(&self.stats.monitor_passes);
+        // Scripted monitor faults: a `Stall` sleeps inside the hook itself;
+        // a `Panic` unwinds out of this pass into the runtime's supervisor.
+        #[cfg(feature = "fault-inject")]
+        if let Some(dimmunix_inject::MonitorFaultKind::Panic) =
+            dimmunix_inject::monitor_fault(Stats::get(&self.stats.monitor_passes))
+        {
+            panic!("dimmunix fault injection: scripted monitor panic");
+        }
         // Own the bucket/index rebuild: republish the match view if the
         // history generation moved, so the hot path never rebuilds inline.
         core.refresh_published();
@@ -263,11 +303,55 @@ impl Monitor {
                 }
             }
         }
+        // The pass completed: this RAG is a consistent restart point.
+        self.last_good = self.rag.clone();
+    }
+
+    /// A fresh monitor inheriting this one's wiring (config, history,
+    /// tables, lanes, stats, hooks) and the RAG snapshot from its last
+    /// successful pass — the supervisor's restart path after a panicked
+    /// pass. Probe and predictor state may have been mid-mutation when the
+    /// pass died, so it restarts empty; every thread in the snapshot is
+    /// marked dirty so the first pass re-scans the whole graph.
+    pub(crate) fn respawn(&self) -> Monitor {
+        let mut fresh = Monitor::new(
+            self.config.clone(),
+            Arc::clone(&self.history),
+            Arc::clone(&self.frames),
+            Arc::clone(&self.stacks),
+            Arc::clone(&self.lanes),
+            Arc::clone(&self.stats),
+            Arc::clone(&self.hooks),
+        );
+        fresh.rag = self.last_good.clone();
+        fresh.rag.mark_all_dirty();
+        fresh.last_good = self.last_good.clone();
+        fresh
+    }
+
+    /// Pass-through pass for degraded mode (restart budget exhausted):
+    /// drains and discards events so the lanes stay bounded, keeps the
+    /// match view republished so avoidance decisions stay sound against
+    /// the last published history, and skips detection, prediction,
+    /// starvation breaking, probes and saves. Deliberately free of fault
+    /// hooks: scripted monitor faults cannot follow the runtime into
+    /// degraded mode.
+    pub(crate) fn degraded_step(&mut self, core: &AvoidanceCore) {
+        Stats::bump(&self.stats.monitor_passes);
+        core.refresh_published();
+        let lanes = Arc::clone(&self.lanes);
+        let drained = lanes.drain(DRAIN_CAP, |_| {});
+        use std::sync::atomic::Ordering::Relaxed;
+        self.stats
+            .events_processed
+            .fetch_add(drained as u64, Relaxed);
+        self.stats.events_last_drain.store(drained as u64, Relaxed);
+        self.stats
+            .lane_overflows
+            .store(lanes.overflow_count(), Relaxed);
     }
 
     fn drain_events(&mut self) {
-        // Bound the drain so a hot producer cannot wedge the monitor.
-        const DRAIN_CAP: usize = 1 << 20;
         let lanes = Arc::clone(&self.lanes);
         let drained = lanes.drain(DRAIN_CAP, |event| self.apply(event));
         use std::sync::atomic::Ordering::Relaxed;

@@ -21,7 +21,7 @@ use crate::lanes::EventLanes;
 use crate::monitor::{Hooks, Monitor};
 use crate::stats::{Stats, StatsSnapshot};
 use dimmunix_rag::{LockId, ThreadId};
-use dimmunix_signature::{FrameTable, History, HistoryError, StackTable};
+use dimmunix_signature::{FrameTable, History, HistoryError, HistoryRecovery, StackTable};
 use parking_lot::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::path::Path;
@@ -71,6 +71,13 @@ pub(crate) struct Inner {
     monitor_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Unique id for thread-local registration bookkeeping.
     runtime_id: usize,
+    /// Set once the monitor exceeded its restart budget: passes become
+    /// pass-through ([`Monitor::degraded_step`]) and yields park with the
+    /// bounded `Config::degraded_yield_wait`.
+    degraded: AtomicBool,
+    /// Boot-time salvage report, if the history file was damaged and
+    /// `Config::history_salvage` recovered its valid prefix.
+    recovery: Option<HistoryRecovery>,
 }
 
 impl Drop for Inner {
@@ -104,7 +111,20 @@ struct Registration {
 impl Drop for Registration {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.upgrade() {
-            inner.core.unregister_thread(self.tid);
+            // Runs on both orderly exit and unwind: sweep the owner table,
+            // clear yield state, wake yielders whose cause we were (they
+            // re-request against a view that no longer contains our
+            // entries), emit `ThreadExit`. The panic counter distinguishes
+            // unwind reclamation from orderly deregistration; the TLS drop
+            // runs after the thread boundary caught the panic, so the
+            // per-slot latch (set by hooks that ran mid-unwind) is checked
+            // alongside `panicking()`.
+            if std::thread::panicking() || inner.core.thread_panicked(self.tid) {
+                Stats::bump(&inner.stats.panic_cleanups);
+            }
+            inner
+                .core
+                .unregister_thread_waking(self.tid, &mut |t| Runtime::wake_tid(&inner, t));
         }
     }
 }
@@ -129,7 +149,13 @@ impl Runtime {
     pub fn with_hooks(config: Config, hooks: Hooks) -> Result<Self, HistoryError> {
         let frames = Arc::new(FrameTable::new());
         let stacks = Arc::new(StackTable::new());
+        let mut recovery = None;
         let history = Arc::new(match &config.history_path {
+            Some(path) if config.history_salvage => {
+                let (h, rec) = History::open_salvaging(path, &frames, &stacks)?;
+                recovery = rec;
+                h
+            }
             Some(path) => History::open(path, &frames, &stacks)?,
             None => History::new(),
         });
@@ -140,6 +166,9 @@ impl Runtime {
             config.event_lane_capacity,
         ));
         let stats = Arc::new(Stats::new());
+        if recovery.is_some() {
+            Stats::bump(&stats.history_salvaged);
+        }
         let core = AvoidanceCore::new(
             config.clone(),
             Arc::clone(&history),
@@ -171,6 +200,8 @@ impl Runtime {
             monitor_signal: Arc::new((Mutex::new(false), Condvar::new())),
             monitor_handle: Mutex::new(None),
             runtime_id: RUNTIME_IDS.fetch_add(1, Ordering::Relaxed),
+            degraded: AtomicBool::new(false),
+            recovery,
         });
         Ok(Self { inner })
     }
@@ -242,14 +273,49 @@ impl Runtime {
         Self::step_inner(&self.inner);
     }
 
+    /// One supervised monitor pass. A panic escaping [`Monitor::step`] is
+    /// caught and the monitor is rebuilt from its last good RAG snapshot
+    /// ([`Monitor::respawn`]); after `config.monitor_restart_budget`
+    /// restarts the runtime degrades to pass-through passes instead.
     fn step_inner(inner: &Arc<Inner>) {
         let mut monitor = inner.monitor.lock();
+        if inner.degraded.load(Ordering::SeqCst) {
+            monitor.degraded_step(&inner.core);
+            return;
+        }
         let weak = Arc::downgrade(inner);
-        monitor.step(&inner.core, &move |t| {
+        let waker = move |t| {
             if let Some(inner) = weak.upgrade() {
                 Runtime::wake_tid(&inner, t);
             }
-        });
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            monitor.step(&inner.core, &waker);
+        }));
+        if outcome.is_err() {
+            Stats::bump(&inner.stats.monitor_restarts);
+            if Stats::get(&inner.stats.monitor_restarts)
+                > u64::from(inner.config.monitor_restart_budget)
+            {
+                // Budget exhausted: stop resurrecting detection. Decisions
+                // stay sound against the last published match view; parked
+                // yielders must not wait forever on a monitor that will
+                // never break their starvation, so flip the degraded flag
+                // first, then wake every parker — waking threads re-park
+                // with the bounded degraded wait.
+                inner.degraded.store(true, Ordering::SeqCst);
+                inner.stats.degraded_mode.store(1, Ordering::SeqCst);
+                for t in 0..inner.parkers.len() {
+                    Self::wake_tid(inner, ThreadId(t as u64));
+                }
+                monitor.degraded_step(&inner.core);
+            } else {
+                // Replace the panicked monitor (its probe/predictor state
+                // may be mid-mutation) with a fresh one seeded from the
+                // RAG snapshot of its last successful pass.
+                *monitor = monitor.respawn();
+            }
+        }
     }
 
     /// The calling OS thread's dense id in this runtime, registering it on
@@ -294,11 +360,15 @@ impl Runtime {
     /// (epoch moves past `epoch0`) or the max-yield bound expires.
     pub(crate) fn park_yield(&self, t: ThreadId, epoch0: u64) -> ParkOutcome {
         let parker = &self.inner.parkers[t.0 as usize];
-        let deadline = self
-            .inner
-            .config
-            .max_yield_duration
-            .map(|d| Instant::now() + d);
+        let mut bound = self.inner.config.max_yield_duration;
+        if self.inner.degraded.load(Ordering::Relaxed) {
+            // No monitor will ever break this thread's starvation: cap the
+            // park at the degraded fallback wait (tightening, never
+            // loosening, the configured max-yield bound).
+            let cap = self.inner.config.degraded_yield_wait;
+            bound = Some(bound.map_or(cap, |d| d.min(cap)));
+        }
+        let deadline = bound.map(|d| Instant::now() + d);
         let mut epoch = parker.epoch.lock();
         loop {
             if *epoch != epoch0 {
@@ -367,6 +437,20 @@ impl Runtime {
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// Whether the runtime is in degraded pass-through mode (the monitor
+    /// exceeded `Config::monitor_restart_budget`). Degradation is one-way:
+    /// a restart of the process (with a working monitor) clears it.
+    pub fn degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The boot-time salvage report, if `Config::history_salvage` recovered
+    /// the valid prefix of a damaged history file. `None` when the file
+    /// loaded cleanly (or there was none).
+    pub fn history_recovery(&self) -> Option<&HistoryRecovery> {
+        self.inner.recovery.as_ref()
     }
 
     /// Live per-bucket occupancy skew of the avoidance state (hot-bucket

@@ -133,6 +133,24 @@ pub struct Stats {
     pub wake_pool_hits: AtomicU64,
     /// Yield registrations that Box-allocated because the pool was dry.
     pub wake_pool_misses: AtomicU64,
+    /// Registered threads whose state was reclaimed by the unwind path — a
+    /// `Registration` dropped while its thread was panicking (owner-table
+    /// entries swept, yield state cleared, yielders woken, `ThreadExit`
+    /// emitted).
+    pub panic_cleanups: AtomicU64,
+    /// Yielders woken because their cause thread exited or panicked while
+    /// they were parked on it (the exit-path wake sweep, not a release).
+    pub orphan_wakes: AtomicU64,
+    /// Monitor passes that panicked and were restarted by the supervisor
+    /// with tracker state rebuilt from the last good RAG snapshot.
+    pub monitor_restarts: AtomicU64,
+    /// Gauge (0/1): the runtime is in degraded pass-through mode — the
+    /// monitor exceeded its restart budget, so detection/calibration/
+    /// prediction are off and yields use a bounded fallback wait.
+    pub degraded_mode: AtomicU64,
+    /// History files whose torn tail was salvaged at load time (valid
+    /// prefix recovered into a `HistoryRecovery` report).
+    pub history_salvaged: AtomicU64,
 }
 
 /// Number of bins in the rebuild-latency histograms.
@@ -188,6 +206,11 @@ impl Default for Stats {
             cover_fallbacks: AtomicU64::new(0),
             wake_pool_hits: AtomicU64::new(0),
             wake_pool_misses: AtomicU64::new(0),
+            panic_cleanups: AtomicU64::new(0),
+            orphan_wakes: AtomicU64::new(0),
+            monitor_restarts: AtomicU64::new(0),
+            degraded_mode: AtomicU64::new(0),
+            history_salvaged: AtomicU64::new(0),
         }
     }
 }
@@ -324,6 +347,11 @@ impl Stats {
             cover_fallbacks: Self::get(&self.cover_fallbacks),
             wake_pool_hits: Self::get(&self.wake_pool_hits),
             wake_pool_misses: Self::get(&self.wake_pool_misses),
+            panic_cleanups: Self::get(&self.panic_cleanups),
+            orphan_wakes: Self::get(&self.orphan_wakes),
+            monitor_restarts: Self::get(&self.monitor_restarts),
+            degraded_mode: Self::get(&self.degraded_mode),
+            history_salvaged: Self::get(&self.history_salvaged),
         }
     }
 }
@@ -413,6 +441,16 @@ pub struct StatsSnapshot {
     pub wake_pool_hits: u64,
     /// Yield registrations that Box-allocated (pool dry).
     pub wake_pool_misses: u64,
+    /// Panicking-thread unwind cleanups performed.
+    pub panic_cleanups: u64,
+    /// Yielders woken by a cause thread's exit/panic sweep.
+    pub orphan_wakes: u64,
+    /// Monitor panics caught and restarted by the supervisor.
+    pub monitor_restarts: u64,
+    /// Gauge (0/1): runtime is in degraded pass-through mode.
+    pub degraded_mode: u64,
+    /// Torn history files salvaged at load time.
+    pub history_salvaged: u64,
 }
 
 impl fmt::Debug for StatsSnapshot {

@@ -39,7 +39,7 @@ struct WaitEdge {
     kind: WaitKind,
 }
 
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct ThreadNode {
     /// At most one outstanding request/allow edge: a thread waits for one
     /// lock at a time.
@@ -50,7 +50,7 @@ struct ThreadNode {
     holds: Vec<LockId>,
 }
 
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 struct LockNode {
     /// Hold-edge multiset: `(holder, acquisition stack)` per nesting level.
     /// For a mutex all entries share one holder thread.
@@ -118,7 +118,7 @@ pub struct RagStats {
 /// up-to-date view of the program's synchronization state" (§5.1); that is
 /// fine for cycle detection because deadlocked threads stop producing
 /// events, so the graph converges on exactly the stuck subset.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Rag {
     threads: HashMap<ThreadId, ThreadNode>,
     locks: HashMap<LockId, LockNode>,
@@ -244,6 +244,14 @@ impl Rag {
             }
         }
         self.dirty.remove(&t);
+    }
+
+    /// Marks every thread dirty, forcing the next detection pass to re-scan
+    /// the whole graph. Used when detection state may have been lost — e.g.
+    /// a monitor restarted from a RAG snapshot whose dirty set predates the
+    /// events that were in flight when its predecessor died.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.extend(self.threads.keys().copied());
     }
 
     /// The holder of `l`'s hold edges, if any (a mutex has one holder

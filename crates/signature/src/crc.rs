@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) for the history
+//! file footer. Hand-rolled because the workspace builds offline; the
+//! constants match zlib's `crc32`, so footers are checkable with standard
+//! tools.
+
+/// Byte-indexed lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_byte_flips() {
+        let base = crc32(b"# dimmunix-history v2\n");
+        let torn = crc32(b"# dimmunix-history v2\x00");
+        assert_ne!(base, torn);
+    }
+}

@@ -41,7 +41,7 @@ use crate::stack::{StackId, StackTable};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,6 +82,25 @@ impl From<io::Error> for HistoryError {
     fn from(e: io::Error) -> Self {
         HistoryError::Io(e)
     }
+}
+
+/// Report of a salvage load ([`History::salvage_file`]) over a torn or
+/// corrupt history file: what was recovered from the valid prefix and what
+/// the damaged tail lost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoryRecovery {
+    /// Complete signatures recovered (and merged) from the valid prefix.
+    pub recovered: usize,
+    /// Signature blocks lost to the damaged tail: the block open at the
+    /// failure point plus every `signature` line after it.
+    pub dropped: usize,
+    /// 1-based line where parsing stopped; `None` if the whole file parsed.
+    pub first_bad_line: Option<usize>,
+    /// The parse failure that truncated the load, if any.
+    pub error: Option<String>,
+    /// Whether the `crc` footer matched; `None` when the file has none
+    /// (pre-footer files are still accepted).
+    pub crc_ok: Option<bool>,
 }
 
 /// What happened to the history between two generations, as reported by
@@ -402,48 +421,98 @@ impl History {
         self.save_to(&path, frames, stacks)
     }
 
-    /// Serializes the history to an arbitrary path (atomic via temp + rename).
+    /// Serializes the history to an arbitrary path.
+    ///
+    /// Crash-safe: the payload ends with a `crc <hex>` footer (CRC-32 over
+    /// everything before it), is written to a uniquely named temp file in
+    /// the destination directory — process id plus a global counter, so
+    /// concurrent saves of sibling files never collide on one temp name —
+    /// fsynced, renamed over the destination, and the parent directory is
+    /// fsynced so the rename itself survives a crash. A torn write can
+    /// therefore only ever leave the *old* complete file, or a new file
+    /// whose damage the CRC footer exposes at load time (and which
+    /// [`History::salvage_file`] can recover a prefix of).
     pub fn save_to(
         &self,
         path: &Path,
         frames: &FrameTable,
         stacks: &StackTable,
     ) -> Result<(), HistoryError> {
-        let tmp = path.with_extension("tmp");
-        {
-            let file = std::fs::File::create(&tmp)?;
-            let mut w = io::BufWriter::new(file);
-            writeln!(w, "{HEADER}")?;
-            for sig in self.snapshot().iter() {
-                writeln!(
-                    w,
-                    "signature kind={} provenance={} depth={} disabled={} avoided={} aborts={}",
-                    sig.kind,
-                    sig.provenance,
-                    sig.depth(),
-                    u8::from(sig.is_disabled()),
-                    sig.avoided(),
-                    sig.aborts(),
-                )?;
-                for &stack_id in sig.stacks.iter() {
-                    let stack = stacks.resolve(stack_id);
-                    writeln!(w, "stack {}", stack.len())?;
-                    for &fid in stack.iter() {
-                        let f = frames.resolve(fid);
-                        writeln!(
-                            w,
-                            "frame {}|{}|{}",
-                            escape(&f.function),
-                            escape(&f.file),
-                            f.line
-                        )?;
-                    }
+        let mut buf: Vec<u8> = Vec::new();
+        writeln!(buf, "{HEADER}")?;
+        for sig in self.snapshot().iter() {
+            writeln!(
+                buf,
+                "signature kind={} provenance={} depth={} disabled={} avoided={} aborts={}",
+                sig.kind,
+                sig.provenance,
+                sig.depth(),
+                u8::from(sig.is_disabled()),
+                sig.avoided(),
+                sig.aborts(),
+            )?;
+            for &stack_id in sig.stacks.iter() {
+                let stack = stacks.resolve(stack_id);
+                writeln!(buf, "stack {}", stack.len())?;
+                for &fid in stack.iter() {
+                    let f = frames.resolve(fid);
+                    writeln!(
+                        buf,
+                        "frame {}|{}|{}",
+                        escape(&f.function),
+                        escape(&f.file),
+                        f.line
+                    )?;
                 }
-                writeln!(w, "end")?;
             }
-            w.flush()?;
+            writeln!(buf, "end")?;
+        }
+        let crc = crate::crc::crc32(&buf);
+        writeln!(buf, "crc {crc:08x}")?;
+
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let stem = path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .unwrap_or("history");
+        let tmp = path.with_file_name(format!(
+            "{stem}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&buf)?;
+            file.sync_all()?;
+        }
+        #[cfg(feature = "fault-inject")]
+        let fault = dimmunix_inject::take_history_fault();
+        #[cfg(feature = "fault-inject")]
+        if matches!(
+            fault,
+            Some(dimmunix_inject::HistoryFault::CrashBeforeRename)
+        ) {
+            // Simulated crash between temp write and rename: the temp file
+            // is left behind and the destination is never updated — the
+            // exact on-disk state a real crash at this point leaves.
+            return Ok(());
         }
         std::fs::rename(&tmp, path)?;
+        // The rename is only durable once the directory entry is. Failing
+        // to open the directory (some platforms/filesystems) loses only
+        // durability of the rename, never atomicity, so it is not an error.
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        #[cfg(feature = "fault-inject")]
+        apply_history_fault(path, fault)?;
         Ok(())
     }
 
@@ -460,19 +529,68 @@ impl History {
         frames: &FrameTable,
         stacks: &StackTable,
     ) -> Result<usize, HistoryError> {
-        let file = std::fs::File::open(path)?;
-        let reader = io::BufReader::new(file);
-        let mut added = 0;
-        let mut lineno = 0;
-        let mut lines = reader.lines();
+        let data = std::fs::read(path)?;
+        let recovery = self.parse_slice(&data, frames, stacks, false)?;
+        Ok(recovery.recovered)
+    }
 
-        let first = lines
-            .next()
-            .transpose()?
-            .ok_or_else(|| parse_err(1, "empty history file"))?;
-        lineno += 1;
-        if first.trim() != HEADER && first.trim() != HEADER_V1 {
-            return Err(parse_err(lineno, format!("bad header {first:?}")));
+    /// Best-effort load of a torn or corrupt history file: merges every
+    /// complete signature before the first malformed line and reports what
+    /// was recovered and what the damaged tail lost. Only I/O failures
+    /// error; any parse damage is absorbed into the report.
+    pub fn salvage_file(
+        &self,
+        path: &Path,
+        frames: &FrameTable,
+        stacks: &StackTable,
+    ) -> Result<HistoryRecovery, HistoryError> {
+        let data = std::fs::read(path)?;
+        self.parse_slice(&data, frames, stacks, true)
+    }
+
+    /// [`History::open`], falling back to [`History::salvage_file`] when
+    /// the file is torn or corrupt: the valid prefix is recovered, the
+    /// history stays backed by `path` (the next save rewrites it whole),
+    /// and the recovery report is returned alongside.
+    pub fn open_salvaging(
+        path: impl Into<PathBuf>,
+        frames: &FrameTable,
+        stacks: &StackTable,
+    ) -> Result<(Self, Option<HistoryRecovery>), HistoryError> {
+        let path = path.into();
+        match Self::open(&path, frames, stacks) {
+            Ok(h) => Ok((h, None)),
+            Err(HistoryError::Parse { .. }) => {
+                let h = Self::new();
+                let recovery = h.salvage_file(&path, frames, stacks)?;
+                *h.path.lock() = Some(path);
+                Ok((h, Some(recovery)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The shared strict/salvage parser behind [`History::merge_file`] and
+    /// [`History::salvage_file`]. Strict mode (`salvage == false`) returns
+    /// a line-numbered [`HistoryError::Parse`] at the first malformed line;
+    /// salvage mode stops there instead, keeps everything already merged,
+    /// and records the failure plus the number of signature blocks the
+    /// damaged tail loses.
+    fn parse_slice(
+        &self,
+        data: &[u8],
+        frames: &FrameTable,
+        stacks: &StackTable,
+        salvage: bool,
+    ) -> Result<HistoryRecovery, HistoryError> {
+        // Raw byte lines with their offsets: the `crc` footer covers every
+        // byte before its own line, so offsets must refer to the original
+        // data, not any lossy re-encoding.
+        let mut lines: Vec<(usize, &[u8])> = Vec::new();
+        let mut off = 0;
+        for chunk in data.split(|&b| b == b'\n') {
+            lines.push((off, chunk));
+            off += chunk.len() + 1;
         }
 
         #[derive(Default)]
@@ -488,114 +606,190 @@ impl History {
             frames: Vec<crate::frame::FrameId>,
             expect: usize,
         }
-        let mut pending: Option<Pending> = None;
 
-        for line in lines {
-            let line = line?;
-            lineno += 1;
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+        let mut out = HistoryRecovery::default();
+        let mut pending: Option<Pending> = None;
+        let mut failure: Option<(usize, String)> = None;
+        let mut after_footer = false;
+
+        'parse: {
+            if data.is_empty() {
+                failure = Some((1, "empty history file".into()));
+                break 'parse;
             }
-            if let Some(rest) = line.strip_prefix("signature ") {
-                if pending.is_some() {
-                    return Err(parse_err(lineno, "nested signature"));
+            match std::str::from_utf8(lines[0].1) {
+                Ok(first) if first.trim() == HEADER || first.trim() == HEADER_V1 => {}
+                Ok(first) => {
+                    failure = Some((1, format!("bad header {first:?}")));
+                    break 'parse;
                 }
-                let mut p = Pending {
-                    depth: 4,
-                    ..Default::default()
-                };
-                for kv in rest.split_whitespace() {
-                    let (k, v) = kv
-                        .split_once('=')
-                        .ok_or_else(|| parse_err(lineno, format!("bad attribute {kv:?}")))?;
-                    match k {
-                        "kind" => {
-                            p.kind = Some(match v {
-                                "deadlock" => CycleKind::Deadlock,
-                                "starvation" => CycleKind::Starvation,
-                                _ => return Err(parse_err(lineno, format!("bad kind {v:?}"))),
-                            })
-                        }
-                        "provenance" => {
-                            p.provenance = Some(Provenance::parse(v).ok_or_else(|| {
-                                parse_err(lineno, format!("bad provenance {v:?}"))
-                            })?)
-                        }
-                        "depth" => p.depth = parse_num(v, lineno)?,
-                        "disabled" => p.disabled = parse_num::<u8>(v, lineno)? != 0,
-                        "avoided" => p.avoided = parse_num(v, lineno)?,
-                        "aborts" => p.aborts = parse_num(v, lineno)?,
-                        _ => return Err(parse_err(lineno, format!("unknown attribute {k:?}"))),
+                Err(_) => {
+                    failure = Some((1, "invalid UTF-8".into()));
+                    break 'parse;
+                }
+            }
+
+            for (i, &(offset, raw)) in lines.iter().enumerate().skip(1) {
+                let lineno = i + 1;
+                let step = (|| -> Result<(), String> {
+                    let line = std::str::from_utf8(raw)
+                        .map_err(|_| "invalid UTF-8".to_string())?
+                        .trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        return Ok(());
                     }
-                }
-                pending = Some(p);
-            } else if let Some(rest) = line.strip_prefix("stack ") {
-                let p = pending
-                    .as_mut()
-                    .ok_or_else(|| parse_err(lineno, "stack outside signature"))?;
-                if p.expect != p.frames.len() {
-                    return Err(parse_err(lineno, "previous stack incomplete"));
-                }
-                if !p.frames.is_empty() {
-                    p.stacks.push(stacks.intern(&p.frames));
-                    p.frames.clear();
-                }
-                p.expect = parse_num(rest, lineno)?;
-                if p.expect == 0 {
-                    return Err(parse_err(lineno, "empty stack"));
-                }
-            } else if let Some(rest) = line.strip_prefix("frame ") {
-                let p = pending
-                    .as_mut()
-                    .ok_or_else(|| parse_err(lineno, "frame outside signature"))?;
-                let parts = split_escaped(rest);
-                if parts.len() != 3 {
-                    return Err(parse_err(lineno, format!("bad frame {rest:?}")));
-                }
-                let lno: u32 = parse_num(&parts[2], lineno)?;
-                p.frames.push(frames.intern(&parts[0], &parts[1], lno));
-                if p.frames.len() > p.expect {
-                    return Err(parse_err(lineno, "more frames than declared"));
-                }
-            } else if line == "end" {
-                let mut p = pending
-                    .take()
-                    .ok_or_else(|| parse_err(lineno, "end outside signature"))?;
-                if p.expect != p.frames.len() {
-                    return Err(parse_err(lineno, "last stack incomplete"));
-                }
-                if !p.frames.is_empty() {
-                    p.stacks.push(stacks.intern(&p.frames));
-                }
-                let kind = p
-                    .kind
-                    .ok_or_else(|| parse_err(lineno, "signature missing kind"))?;
-                if p.stacks.is_empty() {
-                    return Err(parse_err(lineno, "signature with no stacks"));
-                }
-                // v1 signatures (no provenance attribute) default to the
-                // provenance implied by their kind: v1 histories only ever
-                // held suffered cycles.
-                let provenance = p
-                    .provenance
-                    .unwrap_or_else(|| Provenance::default_for(kind));
-                if let Some(sig) = self.add_with_provenance(kind, p.stacks, p.depth, provenance) {
-                    sig.set_disabled(p.disabled);
-                    sig.set_avoided(p.avoided);
-                    for _ in 0..p.aborts {
-                        sig.record_abort();
+                    if after_footer {
+                        return Err("content after crc footer".into());
                     }
-                    added += 1;
+                    if let Some(rest) = line.strip_prefix("crc ") {
+                        if pending.is_some() {
+                            return Err("crc footer inside signature".into());
+                        }
+                        let stored = u32::from_str_radix(rest.trim(), 16)
+                            .map_err(|_| format!("bad crc footer {rest:?}"))?;
+                        let computed = crate::crc::crc32(&data[..offset]);
+                        after_footer = true;
+                        out.crc_ok = Some(stored == computed);
+                        if stored != computed {
+                            return Err(format!(
+                                "crc mismatch: footer {stored:08x}, computed {computed:08x}"
+                            ));
+                        }
+                        return Ok(());
+                    }
+                    if let Some(rest) = line.strip_prefix("signature ") {
+                        if pending.is_some() {
+                            return Err("nested signature".into());
+                        }
+                        let mut p = Pending {
+                            depth: 4,
+                            ..Default::default()
+                        };
+                        for kv in rest.split_whitespace() {
+                            let (k, v) = kv
+                                .split_once('=')
+                                .ok_or_else(|| format!("bad attribute {kv:?}"))?;
+                            match k {
+                                "kind" => {
+                                    p.kind = Some(match v {
+                                        "deadlock" => CycleKind::Deadlock,
+                                        "starvation" => CycleKind::Starvation,
+                                        _ => return Err(format!("bad kind {v:?}")),
+                                    })
+                                }
+                                "provenance" => {
+                                    p.provenance = Some(
+                                        Provenance::parse(v)
+                                            .ok_or_else(|| format!("bad provenance {v:?}"))?,
+                                    )
+                                }
+                                "depth" => p.depth = parse_num_msg(v)?,
+                                "disabled" => p.disabled = parse_num_msg::<u8>(v)? != 0,
+                                "avoided" => p.avoided = parse_num_msg(v)?,
+                                "aborts" => p.aborts = parse_num_msg(v)?,
+                                _ => return Err(format!("unknown attribute {k:?}")),
+                            }
+                        }
+                        pending = Some(p);
+                    } else if let Some(rest) = line.strip_prefix("stack ") {
+                        let p = pending
+                            .as_mut()
+                            .ok_or_else(|| "stack outside signature".to_string())?;
+                        if p.expect != p.frames.len() {
+                            return Err("previous stack incomplete".into());
+                        }
+                        if !p.frames.is_empty() {
+                            p.stacks.push(stacks.intern(&p.frames));
+                            p.frames.clear();
+                        }
+                        p.expect = parse_num_msg(rest)?;
+                        if p.expect == 0 {
+                            return Err("empty stack".into());
+                        }
+                    } else if let Some(rest) = line.strip_prefix("frame ") {
+                        let p = pending
+                            .as_mut()
+                            .ok_or_else(|| "frame outside signature".to_string())?;
+                        let parts = split_escaped(rest);
+                        if parts.len() != 3 {
+                            return Err(format!("bad frame {rest:?}"));
+                        }
+                        let lno: u32 = parse_num_msg(&parts[2])?;
+                        p.frames.push(frames.intern(&parts[0], &parts[1], lno));
+                        if p.frames.len() > p.expect {
+                            return Err("more frames than declared".into());
+                        }
+                    } else if line == "end" {
+                        let mut p = pending
+                            .take()
+                            .ok_or_else(|| "end outside signature".to_string())?;
+                        if p.expect != p.frames.len() {
+                            return Err("last stack incomplete".into());
+                        }
+                        if !p.frames.is_empty() {
+                            p.stacks.push(stacks.intern(&p.frames));
+                        }
+                        let kind = p.kind.ok_or_else(|| "signature missing kind".to_string())?;
+                        if p.stacks.is_empty() {
+                            return Err("signature with no stacks".into());
+                        }
+                        // v1 signatures (no provenance attribute) default to
+                        // the provenance implied by their kind: v1 histories
+                        // only ever held suffered cycles.
+                        let provenance = p
+                            .provenance
+                            .unwrap_or_else(|| Provenance::default_for(kind));
+                        if let Some(sig) =
+                            self.add_with_provenance(kind, p.stacks, p.depth, provenance)
+                        {
+                            sig.set_disabled(p.disabled);
+                            sig.set_avoided(p.avoided);
+                            for _ in 0..p.aborts {
+                                sig.record_abort();
+                            }
+                            out.recovered += 1;
+                        }
+                    } else {
+                        return Err(format!("unrecognized line {line:?}"));
+                    }
+                    Ok(())
+                })();
+                if let Err(msg) = step {
+                    failure = Some((lineno, msg));
+                    break 'parse;
                 }
-            } else {
-                return Err(parse_err(lineno, format!("unrecognized line {line:?}")));
+            }
+            if pending.is_some() {
+                let eof_line = lines
+                    .iter()
+                    .rposition(|(_, raw)| !raw.is_empty())
+                    .map(|i| i + 1)
+                    .unwrap_or(1);
+                failure = Some((eof_line, "unterminated signature".into()));
             }
         }
-        if pending.is_some() {
-            return Err(parse_err(lineno, "unterminated signature"));
+
+        if let Some((lineno, msg)) = failure {
+            if !salvage {
+                return Err(parse_err(lineno, msg));
+            }
+            // The open block at the failure point is lost, plus every
+            // signature block that starts at or after the failing line —
+            // including the failing line itself when the damage hit an
+            // opener (e.g. a truncation mid-`signature` line).
+            out.dropped = usize::from(pending.is_some());
+            for &(_, raw) in lines.get(lineno.saturating_sub(1)..).unwrap_or_default() {
+                if String::from_utf8_lossy(raw)
+                    .trim_start()
+                    .starts_with("signature ")
+                {
+                    out.dropped += 1;
+                }
+            }
+            out.first_bad_line = Some(lineno);
+            out.error = Some(msg);
         }
-        Ok(added)
+        Ok(out)
     }
 
     /// Size of the serialized history in bytes (for the §7.4 report).
@@ -645,9 +839,37 @@ fn parse_err(line: usize, msg: impl Into<String>) -> HistoryError {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, HistoryError> {
-    s.parse()
-        .map_err(|_| parse_err(line, format!("bad number {s:?}")))
+fn parse_num_msg<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// Applies the scripted post-publish damage of a [`dimmunix_inject::HistoryFault`]
+/// to the just-renamed file — the torn-file generator for salvage tests.
+#[cfg(feature = "fault-inject")]
+fn apply_history_fault(
+    path: &Path,
+    fault: Option<dimmunix_inject::HistoryFault>,
+) -> io::Result<()> {
+    use dimmunix_inject::HistoryFault;
+    match fault {
+        None | Some(HistoryFault::CrashBeforeRename) => {}
+        Some(HistoryFault::CorruptByte { offset }) => {
+            let mut data = std::fs::read(path)?;
+            if !data.is_empty() {
+                let i = (offset as usize) % data.len();
+                data[i] ^= 0xFF;
+                std::fs::write(path, data)?;
+            }
+        }
+        Some(HistoryFault::TruncateAt { offset }) => {
+            let data = std::fs::read(path)?;
+            if !data.is_empty() {
+                let i = (offset as usize) % data.len();
+                std::fs::write(path, &data[..i])?;
+            }
+        }
+    }
+    Ok(())
 }
 
 fn escape(s: &str) -> String {

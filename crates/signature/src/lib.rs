@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod calibration;
+pub mod crc;
 pub mod frame;
 pub mod history;
 pub mod match_index;
@@ -36,7 +37,7 @@ pub mod stack;
 
 pub use calibration::{CalibrationConfig, CalibrationState, CalibrationUpdate, Phase};
 pub use frame::{Frame, FrameId, FrameTable};
-pub use history::{History, HistoryDelta, HistoryError};
+pub use history::{History, HistoryDelta, HistoryError, HistoryRecovery};
 pub use match_index::{BucketLayout, Candidate, CandidateSet, CoverKeys, MatchIndex, MemberKey};
 pub use signature::{CycleKind, Provenance, SigId, Signature};
 pub use stack::{suffix_matches, suffix_of, CallStack, StackId, StackTable};

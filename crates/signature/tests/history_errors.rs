@@ -1,0 +1,225 @@
+//! Error-path coverage for history loading: every malformed input must
+//! produce either a precise, line-numbered [`HistoryError::Parse`] (strict
+//! loading) or a [`HistoryRecovery`] report with accurate recovered/dropped
+//! counts (salvage loading).
+
+use dimmunix_signature::{
+    CycleKind, FrameTable, History, HistoryError, HistoryRecovery, StackTable,
+};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dimmunix-history-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.dlk", std::process::id()))
+}
+
+struct Env {
+    frames: FrameTable,
+    stacks: StackTable,
+}
+
+impl Env {
+    fn new() -> Self {
+        Self {
+            frames: FrameTable::new(),
+            stacks: StackTable::new(),
+        }
+    }
+}
+
+/// One complete, distinct v2 signature block (6 lines), parameterized so
+/// consecutive blocks don't deduplicate against each other.
+fn sig_block(n: u32) -> String {
+    format!(
+        "signature kind=deadlock depth=4 disabled=0 avoided=0 aborts=0\n\
+         stack 1\nframe f{n}|x.rs|{n}\nstack 1\nframe g{n}|x.rs|{}\nend\n",
+        n + 100
+    )
+}
+
+fn open_strict(path: &PathBuf) -> Result<History, HistoryError> {
+    let env = Env::new();
+    History::open(path, &env.frames, &env.stacks)
+}
+
+fn open_salvage(path: &PathBuf) -> (History, Option<HistoryRecovery>) {
+    let env = Env::new();
+    History::open_salvaging(path, &env.frames, &env.stacks).unwrap()
+}
+
+#[test]
+fn bad_header_is_line_1_error_and_salvages_to_empty() {
+    let path = tmp("bad-header");
+    std::fs::write(&path, format!("not a history\n{}", sig_block(1))).unwrap();
+
+    match open_strict(&path) {
+        Err(HistoryError::Parse { line: 1, msg }) => {
+            assert!(msg.contains("bad header"), "unexpected message {msg:?}")
+        }
+        other => panic!("expected header error at line 1, got {other:?}"),
+    }
+
+    let (h, rec) = open_salvage(&path);
+    let rec = rec.expect("damaged file must produce a recovery report");
+    assert_eq!(h.len(), 0);
+    assert_eq!((rec.recovered, rec.dropped), (0, 1), "{rec:?}");
+    assert_eq!(rec.first_bad_line, Some(1));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_mid_stack_errors_at_last_line_and_salvages_prefix() {
+    let path = tmp("truncated");
+    // Three blocks; the third is cut inside its second stack (a declared
+    // 2-frame stack with only one frame written, then EOF).
+    let content = format!(
+        "# dimmunix-history v2\n{}{}signature kind=deadlock depth=4 disabled=0 avoided=0 aborts=0\n\
+         stack 2\nframe e|x.rs|5\n",
+        sig_block(1),
+        sig_block(2)
+    );
+    std::fs::write(&path, &content).unwrap();
+    let last_line = content.lines().count(); // line of `frame e|x.rs|5`
+
+    match open_strict(&path) {
+        Err(HistoryError::Parse { line, msg }) => {
+            assert_eq!(line, last_line, "error must point at the torn tail");
+            assert!(
+                msg.contains("unterminated signature"),
+                "unexpected message {msg:?}"
+            );
+        }
+        other => panic!("expected truncation error, got {other:?}"),
+    }
+
+    let (h, rec) = open_salvage(&path);
+    let rec = rec.expect("recovery report");
+    assert_eq!(h.len(), 2, "the two complete blocks must survive");
+    assert_eq!((rec.recovered, rec.dropped), (2, 1), "{rec:?}");
+    assert_eq!(rec.first_bad_line, Some(last_line));
+    assert!(rec.crc_ok.is_none(), "no footer was reached: {rec:?}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn duplicate_signature_line_is_precise_and_salvage_counts_the_tail() {
+    let path = tmp("nested");
+    // Block 2 opens and then hits another `signature` line before `end`
+    // (line 11); block 3 after it is well-formed but unreachable.
+    let content = format!(
+        "# dimmunix-history v2\n{}\
+         signature kind=deadlock depth=4 disabled=0 avoided=0 aborts=0\n\
+         stack 1\nframe c|x.rs|3\n\
+         signature kind=deadlock depth=4 disabled=0 avoided=0 aborts=0\n\
+         stack 1\nframe d|x.rs|4\nend\n{}",
+        sig_block(1),
+        sig_block(3)
+    );
+    std::fs::write(&path, &content).unwrap();
+
+    match open_strict(&path) {
+        Err(HistoryError::Parse { line: 11, msg }) => {
+            assert!(msg.contains("nested signature"), "unexpected {msg:?}")
+        }
+        other => panic!("expected nested-signature error at line 11, got {other:?}"),
+    }
+
+    let (h, rec) = open_salvage(&path);
+    let rec = rec.expect("recovery report");
+    assert_eq!(h.len(), 1, "only the block before the damage survives");
+    // Dropped: the open block the duplicate line interrupted, the block
+    // the duplicate line itself opens, and the well-formed block stranded
+    // in the unparsed tail — four signature starts appeared, one survived.
+    assert_eq!((rec.recovered, rec.dropped), (1, 3), "{rec:?}");
+    assert_eq!(rec.first_bad_line, Some(11));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crc_mismatch_is_detected_strictly_and_reported_by_salvage() {
+    let path = tmp("crc-mismatch");
+    // A genuine save (with CRC footer), then a parse-neutral bit of rot:
+    // same-length attribute edit, so only the checksum can notice.
+    let env = Env::new();
+    let h = History::new();
+    for (a, b) in [(1, 2), (3, 4)] {
+        let fa = env.frames.intern("f", "x.rs", a);
+        let fb = env.frames.intern("f", "x.rs", b);
+        let sa = env.stacks.intern(&[fa]);
+        let sb = env.stacks.intern(&[fb]);
+        h.add(CycleKind::Deadlock, vec![sa, sb], 4).unwrap();
+    }
+    h.save_to(&path, &env.frames, &env.stacks).unwrap();
+    let clean = std::fs::read_to_string(&path).unwrap();
+    assert!(clean.lines().last().unwrap().starts_with("crc "));
+    let rotten = clean.replacen("avoided=0", "avoided=9", 1);
+    assert_eq!(rotten.len(), clean.len());
+    std::fs::write(&path, &rotten).unwrap();
+    let footer_line = rotten.trim_end().lines().count();
+
+    match open_strict(&path) {
+        Err(HistoryError::Parse { line, msg }) => {
+            assert_eq!(line, footer_line, "error must point at the footer");
+            assert!(msg.contains("crc mismatch"), "unexpected {msg:?}");
+        }
+        other => panic!("expected crc mismatch, got {other:?}"),
+    }
+
+    // Salvage keeps the (individually well-formed) signatures but flags
+    // the failed checksum so the caller knows the file cannot be trusted
+    // byte-for-byte.
+    let (h2, rec) = open_salvage(&path);
+    let rec = rec.expect("recovery report");
+    assert_eq!(h2.len(), 2);
+    assert_eq!((rec.recovered, rec.dropped), (2, 0), "{rec:?}");
+    assert_eq!(rec.crc_ok, Some(false), "{rec:?}");
+    assert!(rec.error.as_deref().unwrap().contains("crc mismatch"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn clean_file_salvage_reports_crc_ok_and_nothing_dropped() {
+    let path = tmp("clean");
+    let env = Env::new();
+    let h = History::new();
+    let fa = env.frames.intern("f", "x.rs", 1);
+    let fb = env.frames.intern("f", "x.rs", 2);
+    h.add(
+        CycleKind::Deadlock,
+        vec![env.stacks.intern(&[fa]), env.stacks.intern(&[fb])],
+        4,
+    )
+    .unwrap();
+    h.save_to(&path, &env.frames, &env.stacks).unwrap();
+
+    // A clean file never reaches the salvage path through open_salvaging…
+    let (h2, rec) = open_salvage(&path);
+    assert!(rec.is_none());
+    assert_eq!(h2.len(), 1);
+
+    // …but salvage_file can still audit it: full CRC pass, nothing lost.
+    let env2 = Env::new();
+    let rec = History::new()
+        .salvage_file(&path, &env2.frames, &env2.stacks)
+        .unwrap();
+    assert_eq!((rec.recovered, rec.dropped), (1, 0), "{rec:?}");
+    assert_eq!(rec.crc_ok, Some(true), "{rec:?}");
+    assert!(rec.error.is_none() && rec.first_bad_line.is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn legacy_footerless_file_loads_with_unknown_crc() {
+    let path = tmp("legacy");
+    std::fs::write(&path, format!("# dimmunix-history v2\n{}", sig_block(1))).unwrap();
+    let h = open_strict(&path).expect("footerless v2 file is legal");
+    assert_eq!(h.len(), 1);
+    let env = Env::new();
+    let rec = History::new()
+        .salvage_file(&path, &env.frames, &env.stacks)
+        .unwrap();
+    assert_eq!(rec.crc_ok, None, "no footer, no verdict: {rec:?}");
+    assert_eq!((rec.recovered, rec.dropped), (1, 0));
+    std::fs::remove_file(&path).ok();
+}
