@@ -97,7 +97,7 @@ fn main() {
             "Overflow events",
             "Hot bucket peak",
             "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
-            "Prediction [edges cycles sigs guard-suppr]",
+            "Prediction [edges cycles sigs guard-suppr defer retired]",
             "Rebuild µs hist [1 4 16 64 256 1k 4k inf]",
             "Robustness [panics restarts salvaged]",
         ],
@@ -133,11 +133,13 @@ fn lag_row(workload: &str, sigs: u64, rt: &Runtime) -> Vec<String> {
         s.hot_bucket_peak.to_string(),
         dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
         format!(
-            "{} {} {} {}",
+            "{} {} {} {} {} {}",
             s.prediction_edges,
             s.cycles_predicted,
             s.predicted_signatures,
-            s.prediction_guard_suppressed
+            s.prediction_guard_suppressed,
+            s.prediction_deferred,
+            s.prediction_edges_retired
         ),
         dimmunix_bench::report::rebuild_cell(&s),
         format!(

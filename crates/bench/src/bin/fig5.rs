@@ -71,11 +71,13 @@ fn main() {
                 stats.hot_bucket_peak.to_string(),
                 dimmunix_bench::report::skew_cell(&rt.occupancy_skew()),
                 format!(
-                    "{} {} {} {}",
+                    "{} {} {} {} {} {}",
                     stats.prediction_edges,
                     stats.cycles_predicted,
                     stats.predicted_signatures,
-                    stats.prediction_guard_suppressed
+                    stats.prediction_guard_suppressed,
+                    stats.prediction_deferred,
+                    stats.prediction_edges_retired
                 ),
                 dimmunix_bench::report::rebuild_cell(&stats),
                 format!(
@@ -112,7 +114,7 @@ fn main() {
                 "Overflow events",
                 "Hot bucket peak",
                 "Occupancy skew [0 1 2-3 4-7 8-15 16-31 32-63 64+]",
-                "Prediction [edges cycles sigs guard-suppr]",
+                "Prediction [edges cycles sigs guard-suppr defer retired]",
                 "Rebuild µs hist [1 4 16 64 256 1k 4k inf]",
                 "Robustness [panics restarts salvaged]",
             ],

@@ -8,7 +8,7 @@
 //! `PROPTEST_CASES` budget.
 
 use dimmunix_chaos::{quiet_scripted_panics, tmp_path};
-use dimmunix_core::{Config, CycleKind, Decision, ReferenceCore, Runtime};
+use dimmunix_core::{Config, CycleKind, Decision, PredictionConfig, ReferenceCore, Runtime};
 use dimmunix_inject::{install, FaultPlan};
 use dimmunix_workloads::{run_once, table1};
 use proptest::prelude::*;
@@ -33,6 +33,76 @@ impl Rng {
     fn below(&mut self, n: u64) -> u64 {
         self.next() % n
     }
+}
+
+/// One fixed-seed storm with prediction enabled: the monitor is scripted-
+/// killed mid-storm, and the restart path must restore predictor state from
+/// the last-good snapshot. A lock ordering taught (and fully released)
+/// before the kill combines with only its post-storm inverse into a fresh
+/// prediction — impossible if the respawned monitor had started from an
+/// empty lock-order graph.
+#[test]
+fn seeded_storm_with_prediction_restores_predictor_across_restart() {
+    quiet_scripted_panics();
+    let guard = install(FaultPlan::none().kill_monitor_after(2, 1));
+    let path = tmp_path("storm-predict");
+    std::fs::remove_file(&path).ok();
+    let rt = Runtime::new(Config {
+        history_path: Some(path.clone()),
+        prediction: Some(PredictionConfig::default()),
+        ..Config::default()
+    })
+    .unwrap();
+
+    // Taught before the kill; locks `a`/`b` are never touched again until
+    // the post-storm inverse, so the edge survives only in the snapshot.
+    let t0 = rt.core().register_thread().unwrap();
+    let a = rt.new_lock_id();
+    let b = rt.new_lock_id();
+    let sa = rt.make_site(&[("predict_seed", "chaos.rs", 1)]);
+    let sb = rt.make_site(&[("predict_seed", "chaos.rs", 2)]);
+    rt.core().request(t0, a, sa.frames(), sa.stack());
+    rt.core().acquired(t0, a, sa.stack());
+    rt.core().request(t0, b, sb.frames(), sb.stack());
+    rt.core().acquired(t0, b, sb.stack());
+    rt.core().release(t0, b);
+    rt.core().release(t0, a);
+    rt.step_monitor(); // pass 1 succeeds: snapshot holds a→b
+
+    // The storm: seeded Table-1-style workloads; the scripted kill fires
+    // on the next monitor pass inside the first run.
+    let workloads = table1();
+    for s in 0..4_u64 {
+        run_once(&rt, &workloads[(s as usize) % workloads.len()], 0xD1A6 + s);
+    }
+    for _ in 0..8 {
+        rt.step_monitor(); // drain anything the storm left queued
+    }
+    let before = rt.stats();
+    assert!(before.monitor_restarts >= 1, "{before:?}");
+    assert_eq!(before.degraded_mode, 0, "{before:?}");
+
+    // Only the inverse ordering after the storm: a new prediction needs
+    // the pre-kill a→b edge out of the restored predictor clone.
+    let t1 = rt.core().register_thread().expect("slots exhausted");
+    rt.core().request(t1, b, sb.frames(), sb.stack());
+    rt.core().acquired(t1, b, sb.stack());
+    rt.core().request(t1, a, sa.frames(), sa.stack());
+    rt.core().acquired(t1, a, sa.stack());
+    rt.core().release(t1, a);
+    rt.core().release(t1, b);
+    rt.step_monitor();
+
+    let after = rt.stats();
+    assert!(
+        after.cycles_predicted > before.cycles_predicted,
+        "inverse ordering must predict against the restored snapshot: \
+         before {before:?}, after {after:?}"
+    );
+    assert_eq!(guard.fired().monitor_faults, 1);
+    drop(guard);
+    drop(rt);
+    std::fs::remove_file(&path).ok();
 }
 
 proptest! {

@@ -15,7 +15,7 @@
 //! can share one process.
 
 use dimmunix_chaos::{quiet_scripted_panics, tmp_path, watchdog_join};
-use dimmunix_core::{Config, CycleKind, Decision, Runtime};
+use dimmunix_core::{Config, CycleKind, Decision, PredictionConfig, Runtime};
 use dimmunix_inject::{install, FaultPlan};
 use dimmunix_signature::{FrameTable, History, StackTable};
 use std::sync::Arc;
@@ -145,6 +145,63 @@ fn monitor_restart_resumes_detection_from_snapshot() {
         stats.deadlocks_detected >= 1,
         "cycle spanning the restart must be found: {stats:?}"
     );
+    assert_eq!(rt.history().len(), 1);
+    assert_eq!(guard.fired().monitor_faults, 1);
+}
+
+/// Path 2c: the restart also restores the *predictor* from its last-good
+/// clone. A lock ordering taught (and fully released) before the panic
+/// exists only inside predictor state — the RAG snapshot holds nothing
+/// about it — so a prediction fired by feeding just the inverse ordering
+/// after the restart proves the respawned monitor resumed the pre-panic
+/// lock-order graph and condensation rather than an empty one.
+#[test]
+fn monitor_restart_restores_predictor_from_snapshot() {
+    quiet_scripted_panics();
+    let guard = install(FaultPlan::none().kill_monitor_after(2, 1));
+    let rt = Runtime::new(Config {
+        prediction: Some(PredictionConfig::default()),
+        ..Config::default()
+    })
+    .unwrap();
+    let t0 = rt.core().register_thread().unwrap();
+    let t1 = rt.core().register_thread().unwrap();
+    let a = rt.new_lock_id();
+    let b = rt.new_lock_id();
+    let sa = rt.make_site(&[("m", "x.rs", 1), ("u", "x.rs", 3)]);
+    let sb = rt.make_site(&[("m", "x.rs", 2), ("u", "x.rs", 3)]);
+
+    // Pass 1 (succeeds): the predictor learns a→b, everything is released
+    // again, and the end-of-pass snapshot captures the predictor clone.
+    rt.core().request(t0, a, sa.frames(), sa.stack());
+    rt.core().acquired(t0, a, sa.stack());
+    rt.core().request(t0, b, sb.frames(), sb.stack());
+    rt.core().acquired(t0, b, sb.stack());
+    rt.core().release(t0, b);
+    rt.core().release(t0, a);
+    rt.step_monitor();
+
+    rt.step_monitor(); // pass 2: scripted panic → respawn from snapshots
+
+    // Only the inverse ordering arrives after the restart. Predicting the
+    // a↔b cycle needs the pre-panic a→b edge from the restored clone.
+    rt.core().request(t1, b, sb.frames(), sb.stack());
+    rt.core().acquired(t1, b, sb.stack());
+    rt.core().request(t1, a, sa.frames(), sa.stack());
+    rt.core().acquired(t1, a, sa.stack());
+    rt.core().release(t1, a);
+    rt.core().release(t1, b);
+    rt.step_monitor(); // pass 3: drains b→a, merges, predicts
+
+    let stats = rt.stats();
+    assert_eq!(stats.monitor_restarts, 1, "{stats:?}");
+    assert_eq!(stats.degraded_mode, 0, "{stats:?}");
+    assert!(
+        stats.cycles_predicted >= 1,
+        "cycle spanning the restart must be predicted from the restored \
+         predictor snapshot: {stats:?}"
+    );
+    assert!(stats.predicted_signatures >= 1, "{stats:?}");
     assert_eq!(rt.history().len(), 1);
     assert_eq!(guard.fired().monitor_faults, 1);
 }

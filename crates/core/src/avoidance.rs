@@ -77,11 +77,20 @@
 //!   table — nothing is cloned, live entries and their sequence words
 //!   survive. It publishes the new view, then *patches* instead of
 //!   sweeping: a per-thread log is visited only when its **tail filter**
-//!   (a 64-bit bloom over the innermost frame of every entry appended to
-//!   it — and the innermost frame is part of every depth's suffix, so a
-//!   miss is a proof) intersects the new keys' filter, and a visited log
-//!   inserts only entries matching a *new* key, because surviving buckets
-//!   are already complete. Finally the table is marked swept.
+//!   (a 256-bit *counting* filter over a digest of the two innermost
+//!   frames of every entry currently in it — a `(depth, suffix)` key pins
+//!   an entry's `min(depth, len)` innermost frames, so for depths ≥ 2 a
+//!   digest miss is a proof, and depth-1 keys saturate the key-side
+//!   filter; pops decrement, so the filter stays live-entries-tight
+//!   instead of saturating) intersects the new keys' filter. The first cut of that test is **lock-free**: each slot
+//!   mirrors its bloom in an atomic hint (`ThreadSlot::tail_hint`) that
+//!   hooks refresh *before* loading the view epoch, fence-paired with the
+//!   patcher's publish (see `prime_tail_hint`), so non-intersecting slots
+//!   — the vast majority even under sustained traffic — are skipped
+//!   without touching their mutex. A
+//!   visited log inserts only entries matching a *new* key, because
+//!   surviving buckets are already complete. Finally the table is marked
+//!   swept.
 //! * **Full rebuild** — the fallback for structural history changes
 //!   (removal, disable, merge, a depth-recalibration touch), for layout
 //!   growth past the inherited occupancy array (which re-sizes it —
@@ -577,20 +586,30 @@ impl<T> Guarded<T> {
 /// A thread's private `Allowed` log — the master copy of its entries — plus
 /// its cached match view.
 struct AllowedLog {
-    /// `lock → stack per reentrant nesting level` for this thread.
-    entries: HashMap<LockId, Vec<StackId>>,
+    /// `lock → (stack, tail-bit index) per reentrant nesting level` for
+    /// this thread. The bit index is computed once at append time so a pop
+    /// can maintain the counting bloom without re-resolving the stack.
+    entries: HashMap<LockId, Vec<(StackId, u16)>>,
     /// Epoch at which `view` was loaded from the cell.
     view_epoch: u64,
     /// Cached published view (`None` until first use).
     view: Option<Arc<MatchView>>,
-    /// Conservative bloom over the innermost frames of the entries in this
-    /// log: every append ORs in [`tail_bit`]; pops never clear bits (the
-    /// filter is recomputed exactly whenever a rebuild sweep or delta
-    /// patch visits the slot). Because the innermost frame is the last
-    /// element of *every* depth's suffix, a new bucket key whose suffix
-    /// bit misses this filter provably matches no entry here — the delta
-    /// patch skips the slot without resolving a single stack.
-    tail_filter: u64,
+    /// *Exact* filter over the tail digests ([`tail_bit_index`]) of the
+    /// entries currently in this log: a **counting** filter (`tail_counts`)
+    /// increments on every append and decrements on every pop, so bits of
+    /// popped entries clear instead of accumulating until the next sweep.
+    /// A bucket key pins the matching entries' `min(depth, len)` innermost
+    /// frames, so (for the depths ≥ 2 the key-side filter digests — see
+    /// `delta_patch`) a new key whose digest bit misses this filter
+    /// provably matches no entry here — the delta patch skips the slot
+    /// without resolving a single stack. Keeping the filter
+    /// live-entries-tight is what lets the skip fire under sustained
+    /// traffic: an accumulate-only bloom saturates with every path the
+    /// thread has touched since the last sweep.
+    tail_filter: TailFilter,
+    /// Reference counts behind `tail_filter`: one per bit, plus a last
+    /// slot for the empty-stack sentinel (whose "bit" is all of them).
+    tail_counts: [u16; TAIL_BITS + 1],
 }
 
 impl Default for AllowedLog {
@@ -599,21 +618,116 @@ impl Default for AllowedLog {
             entries: HashMap::new(),
             view_epoch: u64::MAX,
             view: None,
-            tail_filter: 0,
+            tail_filter: [0; TAIL_WORDS],
+            tail_counts: [0; TAIL_BITS + 1],
         }
     }
 }
 
-/// The [`AllowedLog::tail_filter`] bit of an entry with these frames: one
-/// bit derived from the innermost (last) frame. An empty stack has no
-/// innermost frame and could match an empty suffix, so it conservatively
-/// sets every bit.
-#[inline]
-fn tail_bit(frames: &[FrameId]) -> u64 {
-    match frames.last() {
-        Some(&f) => 1_u64 << (mix64(u64::from(f.0)) & 63),
-        None => u64::MAX,
+impl AllowedLog {
+    /// Records an appended entry's tail bit in the counting filter.
+    fn note_insert(&mut self, idx: u16) {
+        self.tail_counts[idx as usize] += 1;
+        tail_or(&mut self.tail_filter, idx);
     }
+
+    /// Records a popped entry's tail bit; recomputes the filter exactly
+    /// when the bit's count drains to zero (cold: one scan of the counts).
+    fn note_remove(&mut self, idx: u16) {
+        let c = &mut self.tail_counts[idx as usize];
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            let mut fresh = [0; TAIL_WORDS];
+            for (i, &n) in self.tail_counts.iter().enumerate() {
+                if n > 0 {
+                    tail_or(&mut fresh, i as u16);
+                }
+            }
+            self.tail_filter = fresh;
+        }
+    }
+
+    /// Drops every entry and zeroes the counting filter (exit sweep).
+    fn clear_tail_filter(&mut self) {
+        self.tail_filter = [0; TAIL_WORDS];
+        self.tail_counts = [0; TAIL_BITS + 1];
+    }
+}
+
+/// Width of the tail filter. 256 bits keeps the patcher's false-positive
+/// rate (a live entry's bit colliding with a new key's) low enough that a
+/// delta patch under sustained traffic usually locks **zero** slot
+/// mutexes — with a 64-bit bloom, a handful of live bits against a
+/// batch's worth of new keys intersected ~30% of the time per busy slot,
+/// and each false visit stalls on a mutex whose owner may be descheduled
+/// mid-hook.
+const TAIL_WORDS: usize = 4;
+const TAIL_BITS: usize = TAIL_WORDS * 64;
+
+/// The tail filter: a flat multi-word bit set (not a multi-hash bloom —
+/// one bit per entry, so intersection tests stay per-word ANDs).
+type TailFilter = [u64; TAIL_WORDS];
+
+/// The counting-filter slot of an entry with these frames: a digest of the
+/// **two** innermost frames (just the innermost for a one-frame stack), or
+/// the sentinel `TAIL_BITS` for an empty stack (which could match an empty
+/// suffix and must conservatively intersect every key).
+///
+/// Two frames are sound because a `(depth, suffix)` bucket key matches
+/// exactly the entries whose `min(depth, len)` innermost frames equal the
+/// suffix — so for `depth >= 2`, a matching entry agrees with the key on
+/// `min(|suffix|, 2)` innermost frames and their digests coincide (a
+/// one-frame suffix at `depth >= 2` only ever matches one-frame entries,
+/// which also digest a single frame). `depth == 1` keys match on the
+/// innermost frame across entries of *every* length, which a two-frame
+/// digest cannot narrow — `delta_patch` saturates its key-side filter for
+/// those. Innermost frames funnel into a handful of lock wrappers in real
+/// programs, so the second frame is what gives the digest its entropy.
+#[inline]
+fn tail_bit_index(frames: &[FrameId]) -> u16 {
+    match frames {
+        [] => TAIL_BITS as u16,
+        [f] => (mix64(u64::from(f.0)) as usize & (TAIL_BITS - 1)) as u16,
+        [.., g, f] => {
+            let h = mix64(u64::from(f.0) ^ mix64(u64::from(g.0)));
+            (h as usize & (TAIL_BITS - 1)) as u16
+        }
+    }
+}
+
+/// ORs a counting slot's contribution into a filter: one bit, or all of
+/// them for the empty-stack sentinel.
+#[inline]
+fn tail_or(filter: &mut TailFilter, idx: u16) {
+    if idx as usize >= TAIL_BITS {
+        *filter = [u64::MAX; TAIL_WORDS];
+    } else {
+        filter[idx as usize / 64] |= 1_u64 << (idx % 64);
+    }
+}
+
+/// Whether two filters share any bit.
+#[inline]
+fn tail_intersects(a: &TailFilter, b: &TailFilter) -> bool {
+    a.iter().zip(b.iter()).any(|(x, y)| x & y != 0)
+}
+
+/// Stores a filter into a slot's atomic hint, word by word. Must run under
+/// the slot lock (all hint writers do), so words never interleave with
+/// another writer's.
+#[inline]
+fn store_hint(hint: &[AtomicU64; TAIL_WORDS], filter: &TailFilter) {
+    for (w, &v) in hint.iter().zip(filter.iter()) {
+        w.store(v, Ordering::SeqCst);
+    }
+}
+
+/// Lock-free intersection test against a slot's atomic hint.
+#[inline]
+fn hint_intersects(hint: &[AtomicU64; TAIL_WORDS], filter: &TailFilter) -> bool {
+    hint.iter()
+        .zip(filter.iter())
+        .any(|(w, &v)| w.load(Ordering::SeqCst) & v != 0)
 }
 
 /// Per-registered-thread yield state (the paper's `yieldLock[T]` data,
@@ -631,6 +745,19 @@ pub(crate) struct ThreadSlot {
     /// owning thread on every hook and by rebuild sweeps; never contended
     /// in steady state.
     allowed: Mutex<AllowedLog>,
+    /// Lock-free mirror of [`AllowedLog::tail_filter`], conservatively a
+    /// superset of it (hooks store `filter | own bit` *before* deciding,
+    /// so a request that ends in a yield still leaves its bit until the
+    /// owner's next hook narrows it away). The delta patch reads it to
+    /// skip non-intersecting slots **without taking their mutex**; every
+    /// write happens under the slot lock (hooks via `prime_tail_hint`,
+    /// sweeps re-sync it to the exact filter), so the only lock-free
+    /// access is the patcher's read — see `prime_tail_hint` for the fence
+    /// protocol that makes the skip sound. Multi-word: each word follows
+    /// the protocol independently (the Dekker pairing is per bit), so the
+    /// patcher may read the words at slightly different instants without
+    /// weakening the argument.
+    tail_hint: [AtomicU64; TAIL_WORDS],
     /// Wake registrations *against this thread as a cause*: `(cause lock,
     /// yielder, yielder epoch)` nodes pushed lock-free by yielding
     /// threads. Only this thread drains it (its own `release` /
@@ -781,14 +908,15 @@ impl AvoidanceCore {
             // tolerant, so unfiltered attempts are fine here.
             let (drained, view) = {
                 let mut log = self.slots[slot].allowed.lock();
-                let drained: Vec<(LockId, Vec<StackId>)> = log.entries.drain().collect();
-                log.tail_filter = 0;
+                let drained: Vec<(LockId, Vec<(StackId, u16)>)> = log.entries.drain().collect();
+                log.clear_tail_filter();
+                store_hint(&self.slots[slot].tail_hint, &[0; TAIL_WORDS]);
                 let view = Arc::clone(self.view_of(&mut log));
                 (drained, view)
             };
             if !view.depths.is_empty() {
                 for (l, stacks) in drained {
-                    for stack in stacks {
+                    for (stack, _) in stacks {
                         let frames = self.stacks.resolve(stack);
                         Self::remove_buckets(&view, &frames, AllowedEntry { t, l, stack });
                     }
@@ -834,6 +962,34 @@ impl AvoidanceCore {
         log.view.as_ref().expect("view cache populated above")
     }
 
+    /// Primes the slot's lock-free tail-filter hint for a hook that may
+    /// append an entry with `frames`. Must run with the slot lock held and
+    /// **before** the hook's view-epoch load (`check_view`): the SeqCst
+    /// store + fence here pairs with `delta_patch`'s publish + fence, so
+    /// by the store-buffer (Dekker) argument at least one side observes
+    /// the other — either the patcher sees the hint bit and visits this
+    /// slot under its mutex (the lock handoff then shows it the appended
+    /// entry), or this hook's epoch load sees the published view and the
+    /// hook inserts into the new buckets itself. [`EpochCell`] is only
+    /// Release/Acquire, hence the explicit fences on both sides.
+    ///
+    /// The prime *stores* `tail_filter | bit` rather than OR-ing the bit
+    /// in, making the hint self-narrowing: only this slot's owner thread
+    /// primes it (always under the slot lock), the stored value covers
+    /// every live entry (the counting filter is exact) plus this hook's
+    /// candidate bit, and any bit thereby dropped belongs to an earlier
+    /// hook of the same thread that either completed its append (its bit
+    /// is in `tail_filter`) or never appended (nothing to patch). An
+    /// accumulate-only hint would saturate with every path the thread
+    /// requests and defeat the patcher's lock-free skip.
+    #[inline]
+    fn prime_tail_hint(&self, slot: usize, log: &AllowedLog, frames: &[FrameId]) {
+        let mut hint = log.tail_filter;
+        tail_or(&mut hint, tail_bit_index(frames));
+        store_hint(&self.slots[slot].tail_hint, &hint);
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
     /// Revalidates the slot's cached view (slot lock held) and classifies
     /// what the hook may do with `frames` under it.
     fn check_view(&self, log: &mut AllowedLog, frames: &[FrameId]) -> ViewCheck {
@@ -868,6 +1024,7 @@ impl AvoidanceCore {
         let instance = loop {
             let was_yielding = self.slots[slot].in_yielding.load(Ordering::Relaxed);
             let mut log = self.slots[slot].allowed.lock();
+            self.prime_tail_hint(slot, &log, frames);
             match self.check_view(&mut log, frames) {
                 ViewCheck::Stale => {
                     drop(log);
@@ -897,6 +1054,11 @@ impl AvoidanceCore {
                                 break None;
                             }
                             Some(inst) => {
+                                // Yield: nothing was appended, so drop the
+                                // primed candidate bit before parking (see
+                                // `pop_entry` on why stale hints cost the
+                                // patcher mutex stalls).
+                                store_hint(&self.slots[slot].tail_hint, &log.tail_filter);
                                 drop(log);
                                 break Some(inst);
                             }
@@ -925,6 +1087,11 @@ impl AvoidanceCore {
                                 // registration and delivers the wakeup —
                                 // see the module docs' protocol.
                                 self.insert_yielding(t, &inst.causes);
+                                // Yield path: the primed candidate bit will
+                                // not become an append — narrow the hint
+                                // before parking. (A revalidation retry
+                                // re-locks and re-primes.)
+                                store_hint(&self.slots[slot].tail_hint, &log.tail_filter);
                                 drop(log);
                                 if view.generation != self.history.generation()
                                     || !proof.still_valid(&view)
@@ -1047,8 +1214,9 @@ impl AvoidanceCore {
         frames: &[FrameId],
         stack: StackId,
     ) {
-        log.entries.entry(l).or_default().push(stack);
-        log.tail_filter |= tail_bit(frames);
+        let idx = tail_bit_index(frames);
+        log.entries.entry(l).or_default().push((stack, idx));
+        log.note_insert(idx);
         if let Some(view) = view {
             Self::insert_buckets(view, frames, AllowedEntry { t, l, stack });
         }
@@ -1071,6 +1239,7 @@ impl AvoidanceCore {
     ) {
         loop {
             let mut log = self.slots[slot].allowed.lock();
+            self.prime_tail_hint(slot, &log, frames);
             match self.check_view(&mut log, frames) {
                 ViewCheck::Stale => {
                     drop(log);
@@ -1193,10 +1362,19 @@ impl AvoidanceCore {
     ) -> Option<(StackId, Option<(Arc<MatchView>, CallStack)>)> {
         let mut log = self.slots[slot].allowed.lock();
         let vec = log.entries.get_mut(&l)?;
-        let stack = vec.pop()?;
+        let (stack, idx) = vec.pop()?;
         if vec.is_empty() {
             log.entries.remove(&l);
         }
+        log.note_remove(idx);
+        // Narrow the lock-free hint to the (now exact) filter right away:
+        // the hint otherwise keeps carrying this entry's bit — and, between
+        // hooks, the last request's primed bit — until the next prime, and
+        // a stale bit on an idle slot costs the patcher a mutex acquisition
+        // whose owner may be descheduled for milliseconds. Sound under the
+        // slot lock: this hook has no append pending, and the next hook
+        // re-primes before its epoch load.
+        store_hint(&self.slots[slot].tail_hint, &log.tail_filter);
         let view = self.view_of(&mut log);
         if view.depths.is_empty() {
             // Empty history: provably never bucketed — skip the resolve.
@@ -1359,36 +1537,50 @@ impl AvoidanceCore {
         if !patch_needed {
             // Pure publish: the appended signatures introduced no new
             // member key, so every bucket is already complete (the table
-            // was constructed swept). Cached views still need dropping.
-            for slot in self.slots.iter() {
-                let mut log = slot.allowed.lock();
-                log.view = None;
-                log.view_epoch = u64::MAX;
-            }
+            // was constructed swept). Cached slot views are left in place
+            // — dropping them is a memory nicety, not a correctness need
+            // (every hook revalidates the epoch before trusting its
+            // cache), and the extended table shares all surviving buckets
+            // with the old one, so the retained views pin almost nothing.
             return true;
         }
+        // Pairs with the hooks' hint-OR + fence (see `prime_tail_hint`):
+        // after this fence, a hint read that misses a concurrent append's
+        // bit guarantees that append observed the epoch published above.
+        std::sync::atomic::fence(Ordering::SeqCst);
         // The new keys' tail filter: a log whose filter misses it holds no
-        // entry whose innermost frame ends any new suffix, so no entry of
-        // that log can map to a new slot — skip it without resolving a
+        // entry whose two innermost frames end any new suffix, so no entry
+        // of that log can map to a new slot — skip it without resolving a
         // single stack. (An entry can match a *currently irrelevant* old
         // suffix, so the log filters accumulate over all entries, not just
-        // relevant ones.)
-        let new_filter = view
-            .layout
-            .keys_from(old_len as u32)
-            .fold(0_u64, |acc, (_, suffix, _)| acc | tail_bit(suffix));
+        // relevant ones.) Depth-1 keys match on the innermost frame alone,
+        // across entries of every length — the two-frame digest cannot
+        // narrow that, so such a batch conservatively visits everything.
+        let mut new_filter = [0; TAIL_WORDS];
+        for (d, suffix, _) in view.layout.keys_from(old_len as u32) {
+            if d < 2 {
+                new_filter = [u64::MAX; TAIL_WORDS];
+                break;
+            }
+            tail_or(&mut new_filter, tail_bit_index(suffix));
+        }
         for slot_idx in 0..self.slots.len() {
+            // Lock-free skip: the hint is a conservative superset of the
+            // log's tail bloom, so a miss proves no entry here can land in
+            // a new slot — the slot mutex is never touched. (The skipped
+            // slot keeps its cached view; memory-only, see above.)
+            if !hint_intersects(&self.slots[slot_idx].tail_hint, &new_filter) {
+                continue;
+            }
             let t = ThreadId(slot_idx as u64);
             let mut log = self.slots[slot_idx].allowed.lock();
-            if log.tail_filter & new_filter != 0 && !log.entries.is_empty() {
+            if tail_intersects(&log.tail_filter, &new_filter) && !log.entries.is_empty() {
                 // Same deterministic order as the full sweep.
                 let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
                 locks.sort_unstable();
-                let mut fresh_filter = 0_u64;
                 for l in locks {
-                    for &stack in &log.entries[&l] {
+                    for &(stack, _) in &log.entries[&l] {
                         let frames = self.stacks.resolve(stack);
-                        fresh_filter |= tail_bit(&frames);
                         // Only *new* slots: surviving buckets already hold
                         // every relevant old entry.
                         for &d in &view.depths {
@@ -1401,9 +1593,12 @@ impl AvoidanceCore {
                         }
                     }
                 }
-                // The visit saw every entry — reset the bloom exactly.
-                log.tail_filter = fresh_filter;
             }
+            // The counting filter is already exact; narrow the hint back
+            // to it (dropping the bit of whatever request primed it last).
+            // Safe under the slot lock — hooks only write the hint while
+            // holding it.
+            store_hint(&self.slots[slot_idx].tail_hint, &log.tail_filter);
             log.view = None;
             log.view_epoch = u64::MAX;
         }
@@ -1465,21 +1660,17 @@ impl AvoidanceCore {
             let mut log = slot.allowed.lock();
             let mut locks: Vec<LockId> = log.entries.keys().copied().collect();
             locks.sort_unstable();
-            let mut fresh_filter = 0_u64;
             for l in locks {
-                for &stack in &log.entries[&l] {
+                for &(stack, _) in &log.entries[&l] {
                     let frames = self.stacks.resolve(stack);
-                    // The sweep sees every entry, so recompute the tail
-                    // bloom exactly — over all entries, relevant or not
-                    // (an irrelevant entry can become patchable under a
-                    // later delta's new keys).
-                    fresh_filter |= tail_bit(&frames);
                     if view.is_relevant(&frames) {
                         Self::insert_buckets(&view, &frames, AllowedEntry { t, l, stack });
                     }
                 }
             }
-            log.tail_filter = fresh_filter;
+            // The counting filter tracks live entries exactly; re-sync the
+            // hint to it (clearing any stale primed request bit).
+            store_hint(&slot.tail_hint, &log.tail_filter);
             // Drop the slot's cached view: an idle thread must not keep the
             // retired generation's whole bucket table alive until its next
             // hook (active threads reload on their next epoch check anyway).
@@ -1491,8 +1682,8 @@ impl AvoidanceCore {
 
     /// Approximate heap footprint of the avoidance state, in bytes (§7.4).
     pub fn approx_bytes(&self) -> usize {
-        let entry_sz =
-            core::mem::size_of::<(ThreadId, LockId)>() + core::mem::size_of::<Vec<StackId>>();
+        let entry_sz = core::mem::size_of::<(ThreadId, LockId)>()
+            + core::mem::size_of::<Vec<(StackId, u16)>>();
         let mut total = 0;
         for slot in self.slots.iter() {
             let log = slot.allowed.lock();

@@ -40,11 +40,12 @@
 //! runtime supervises it: a panic escaping a pass is caught, counted in
 //! [`Stats::monitor_restarts`], and the monitor is rebuilt via
 //! [`Monitor::respawn`] — a fresh instance seeded with the RAG snapshot
-//! taken at the end of the last *successful* pass ([`last_good`]). Probe
-//! and predictor state may have been mid-mutation when the pass died, so
-//! it is not carried over; open probes are abandoned (a missed calibration
-//! sample, never a correctness loss) and the predictor rebuilds its
-//! lock-order graph from subsequent events.
+//! taken at the end of the last *successful* pass ([`last_good`]), plus
+//! the predictor snapshot cloned at the same moment. Probe state may have
+//! been mid-mutation when the pass died, so open probes are abandoned (a
+//! missed calibration sample, never a correctness loss); the predictor
+//! resumes from its last-good clone so pre-panic lock orderings — and the
+//! condensation built over them — survive the restart.
 //!
 //! After `Config::monitor_restart_budget` consecutive restarts the runtime
 //! stops resurrecting detection and enters *degraded mode*
@@ -191,6 +192,12 @@ pub struct Monitor {
     probes: Vec<FpProbe>,
     /// Lock-order-graph deadlock predictor (`Config::prediction`).
     predictor: Option<Predictor>,
+    /// Predictor snapshot taken alongside [`last_good`]: a restarted
+    /// monitor resumes prediction from the last consistent state instead
+    /// of re-learning every pre-panic lock ordering from scratch.
+    ///
+    /// [`last_good`]: Monitor::respawn
+    last_good_predictor: Option<Predictor>,
     /// Predicted signatures synthesized so far, counted against
     /// `PredictionConfig::max_predicted`. Seeded from the loaded history
     /// so restarts do not re-earn the budget.
@@ -230,11 +237,13 @@ impl Monitor {
         } else {
             0
         };
+        let last_good_predictor = predictor.clone();
         Self {
             rag: Rag::new(),
             last_good: Rag::new(),
             probes: Vec::new(),
             predictor,
+            last_good_predictor,
             predicted_budget_used,
             config,
             history,
@@ -303,16 +312,21 @@ impl Monitor {
                 }
             }
         }
-        // The pass completed: this RAG is a consistent restart point.
+        // The pass completed: this RAG (and this predictor state) is a
+        // consistent restart point.
         self.last_good = self.rag.clone();
+        self.last_good_predictor = self.predictor.clone();
     }
 
     /// A fresh monitor inheriting this one's wiring (config, history,
-    /// tables, lanes, stats, hooks) and the RAG snapshot from its last
-    /// successful pass — the supervisor's restart path after a panicked
-    /// pass. Probe and predictor state may have been mid-mutation when the
-    /// pass died, so it restarts empty; every thread in the snapshot is
-    /// marked dirty so the first pass re-scans the whole graph.
+    /// tables, lanes, stats, hooks), the RAG snapshot from its last
+    /// successful pass, and the predictor snapshot taken at the same
+    /// moment — the supervisor's restart path after a panicked pass.
+    /// Probe state may have been mid-mutation when the pass died, so it
+    /// restarts empty (a missed calibration sample, never a correctness
+    /// loss); the predictor resumes from its last-good clone so pre-panic
+    /// lock orderings do not have to be re-learned. Every thread in the
+    /// RAG snapshot is marked dirty so the first pass re-scans the graph.
     pub(crate) fn respawn(&self) -> Monitor {
         let mut fresh = Monitor::new(
             self.config.clone(),
@@ -326,6 +340,8 @@ impl Monitor {
         fresh.rag = self.last_good.clone();
         fresh.rag.mark_all_dirty();
         fresh.last_good = self.last_good.clone();
+        fresh.predictor = self.last_good_predictor.clone();
+        fresh.last_good_predictor = self.last_good_predictor.clone();
         fresh
     }
 
@@ -426,6 +442,16 @@ impl Monitor {
         self.stats
             .prediction_edges
             .store(pstats.edge_instances, Relaxed);
+        self.stats
+            .prediction_deferred
+            .store(pstats.deferred, Relaxed);
+        self.stats.scc_merges.store(pstats.scc_merges, Relaxed);
+        self.stats
+            .scc_component_peak
+            .store(pstats.scc_component_peak, Relaxed);
+        self.stats
+            .prediction_edges_retired
+            .store(pstats.edges_retired, Relaxed);
         let max_predicted = predictor.config().max_predicted;
         // Coalesce the whole pass's discoveries into ONE generation bump:
         // the early-run predictor can surface many feasible cycles in a

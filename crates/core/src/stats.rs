@@ -104,6 +104,22 @@ pub struct Stats {
     pub prediction_guard_suppressed: AtomicU64,
     /// Gauge: live edge instances in the predictor's lock-order graph.
     pub prediction_edges: AtomicU64,
+    /// Gauge: cycle enumerations the predictor parked at a pass-budget
+    /// boundary and resumed on the next pass. Unlike the pre-condensation
+    /// predictor this never *abandons* an edge — the gauge measures
+    /// latency (prediction arriving a pass late), not lost soundness.
+    pub prediction_deferred: AtomicU64,
+    /// Gauge: strongly-connected-component merges performed by the
+    /// predictor's incremental condensation (each merge is a candidate
+    /// deadlock neighborhood that triggered cycle enumeration).
+    pub scc_merges: AtomicU64,
+    /// Gauge: largest strongly connected component the predictor's
+    /// condensation has ever held — the upper bound on any single
+    /// enumeration's search space.
+    pub scc_component_peak: AtomicU64,
+    /// Gauge: lock-order-graph edges retired by lock aging (both
+    /// endpoints release-quiescent past `lock_retire_after` passes).
+    pub prediction_edges_retired: AtomicU64,
     /// Rebuilds that had to clamp an `occupancy_slots` override up to the
     /// bucket-key count (the override would have reintroduced fingerprint
     /// aliasing; see `Config::occupancy_slots`).
@@ -196,6 +212,10 @@ impl Default for Stats {
             predicted_signatures: AtomicU64::new(0),
             prediction_guard_suppressed: AtomicU64::new(0),
             prediction_edges: AtomicU64::new(0),
+            prediction_deferred: AtomicU64::new(0),
+            scc_merges: AtomicU64::new(0),
+            scc_component_peak: AtomicU64::new(0),
+            prediction_edges_retired: AtomicU64::new(0),
             occupancy_clamps: AtomicU64::new(0),
             rebuilds_delta: AtomicU64::new(0),
             rebuilds_full: AtomicU64::new(0),
@@ -335,6 +355,10 @@ impl Stats {
             predicted_signatures: Self::get(&self.predicted_signatures),
             prediction_guard_suppressed: Self::get(&self.prediction_guard_suppressed),
             prediction_edges: Self::get(&self.prediction_edges),
+            prediction_deferred: Self::get(&self.prediction_deferred),
+            scc_merges: Self::get(&self.scc_merges),
+            scc_component_peak: Self::get(&self.scc_component_peak),
+            prediction_edges_retired: Self::get(&self.prediction_edges_retired),
             occupancy_clamps: Self::get(&self.occupancy_clamps),
             rebuilds_delta: Self::get(&self.rebuilds_delta),
             rebuilds_full: Self::get(&self.rebuilds_full),
@@ -421,6 +445,14 @@ pub struct StatsSnapshot {
     pub prediction_guard_suppressed: u64,
     /// Live predictor lock-order-graph edge instances.
     pub prediction_edges: u64,
+    /// Predictor enumerations parked at a pass budget and resumed later.
+    pub prediction_deferred: u64,
+    /// Incremental-condensation SCC merges.
+    pub scc_merges: u64,
+    /// Largest SCC the predictor's condensation has ever held.
+    pub scc_component_peak: u64,
+    /// Lock-order edges retired by lock aging.
+    pub prediction_edges_retired: u64,
     /// Rebuilds that clamped an `occupancy_slots` override.
     pub occupancy_clamps: u64,
     /// Rebuilds that took the incremental delta-patch path.

@@ -9,10 +9,14 @@
 //! instance per edge can be chosen such that the threads are pairwise
 //! distinct and the guard sets are pairwise disjoint (a common gate lock
 //! serializes the two critical sections, so the cycle can never close).
+//!
+//! The graph also maintains a reverse adjacency index (`preds`) so the
+//! condensation's backward searches and whole-lock removal (aging —
+//! [`LockOrderGraph::remove_lock`]) run without scanning every edge map.
 
 use dimmunix_rag::{LockId, ThreadId};
 use dimmunix_signature::StackId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One observed establishment of a lock ordering.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,18 +35,24 @@ pub(crate) struct EdgeInstance {
 /// Outcome of recording an ordering observation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Recorded {
-    /// A new instance was stored; the edge should be (re-)searched.
-    New,
+    /// The first instance of a previously unseen edge: the condensation
+    /// must be told about a new arc.
+    NewEdge,
+    /// A new instance on an already-known edge: the DAG shape is
+    /// unchanged, but cycles through the edge gained an assignment option.
+    NewInstance,
     /// An identical instance already existed.
     Duplicate,
     /// The per-edge or global instance cap was hit; observation dropped.
     Capped,
 }
 
-/// The graph itself: `src → dst → instances`.
-#[derive(Default, Debug)]
+/// The graph itself: `src → dst → instances`, plus the reverse index.
+#[derive(Clone, Default, Debug)]
 pub(crate) struct LockOrderGraph {
     edges: HashMap<LockId, HashMap<LockId, Vec<EdgeInstance>>>,
+    preds: HashMap<LockId, HashSet<LockId>>,
+    nodes: HashSet<LockId>,
     instances: usize,
 }
 
@@ -59,16 +69,35 @@ impl LockOrderGraph {
         if self.instances >= global_cap {
             return Recorded::Capped;
         }
-        let slot = self.edges.entry(src).or_default().entry(dst).or_default();
-        if slot.contains(&inst) {
-            return Recorded::Duplicate;
+        let out = self.edges.entry(src).or_default();
+        let slot = out.entry(dst).or_default();
+        let new_edge = slot.is_empty();
+        let outcome = if slot.contains(&inst) {
+            Recorded::Duplicate
+        } else if slot.len() >= per_edge_cap {
+            Recorded::Capped
+        } else {
+            slot.push(inst);
+            self.instances += 1;
+            if new_edge {
+                Recorded::NewEdge
+            } else {
+                Recorded::NewInstance
+            }
+        };
+        if new_edge && outcome != Recorded::NewEdge {
+            // Roll back the slot the entry API just created, so a capped
+            // first observation leaves no phantom (instance-less) edge.
+            out.remove(&dst);
+            if out.is_empty() {
+                self.edges.remove(&src);
+            }
+        } else if outcome == Recorded::NewEdge {
+            self.preds.entry(dst).or_default().insert(src);
+            self.nodes.insert(src);
+            self.nodes.insert(dst);
         }
-        if slot.len() >= per_edge_cap {
-            return Recorded::Capped;
-        }
-        slot.push(inst);
-        self.instances += 1;
-        Recorded::New
+        outcome
     }
 
     /// The destination locks reachable from `src` by one edge.
@@ -79,6 +108,14 @@ impl LockOrderGraph {
             .flat_map(|m| m.keys().copied())
     }
 
+    /// The source locks with an edge into `dst`.
+    pub fn predecessors(&self, dst: LockId) -> impl Iterator<Item = LockId> + '_ {
+        self.preds
+            .get(&dst)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
     /// The recorded instances of edge `src → dst` (empty if absent).
     pub fn instances(&self, src: LockId, dst: LockId) -> &[EdgeInstance] {
         self.edges
@@ -87,13 +124,108 @@ impl LockOrderGraph {
             .map_or(&[], |v| v.as_slice())
     }
 
+    /// Removes `l` and every edge touching it (lock aging). Returns
+    /// `(edges removed, instances removed)`.
+    pub fn remove_lock(&mut self, l: LockId) -> (usize, usize) {
+        let mut edges_removed = 0;
+        let mut inst_removed = 0;
+        if let Some(out) = self.edges.remove(&l) {
+            for (dst, insts) in out {
+                edges_removed += 1;
+                inst_removed += insts.len();
+                if let Some(p) = self.preds.get_mut(&dst) {
+                    p.remove(&l);
+                    if p.is_empty() {
+                        self.preds.remove(&dst);
+                    }
+                }
+            }
+        }
+        if let Some(ins) = self.preds.remove(&l) {
+            for src in ins {
+                let Some(m) = self.edges.get_mut(&src) else {
+                    continue;
+                };
+                if let Some(insts) = m.remove(&l) {
+                    edges_removed += 1;
+                    inst_removed += insts.len();
+                }
+                if m.is_empty() {
+                    self.edges.remove(&src);
+                }
+            }
+        }
+        self.nodes.remove(&l);
+        self.instances -= inst_removed;
+        (edges_removed, inst_removed)
+    }
+
+    /// Whether `l` currently appears in the graph.
+    #[cfg(test)]
+    pub fn has_node(&self, l: LockId) -> bool {
+        self.nodes.contains(&l)
+    }
+
     /// Total stored edge instances.
     pub fn instance_count(&self) -> usize {
         self.instances
     }
 
-    /// Number of locks appearing as an edge source.
+    /// Number of locks appearing as an edge endpoint.
     pub fn lock_count(&self) -> usize {
-        self.edges.len()
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(t: u64, s: u32) -> EdgeInstance {
+        EdgeInstance {
+            thread: ThreadId(t),
+            hold_stack: StackId(s),
+            guards: Box::new([]),
+        }
+    }
+
+    #[test]
+    fn record_distinguishes_new_edges_from_new_instances() {
+        let mut g = LockOrderGraph::default();
+        assert_eq!(
+            g.record(LockId(1), LockId(2), inst(1, 1), 8, 64),
+            Recorded::NewEdge
+        );
+        assert_eq!(
+            g.record(LockId(1), LockId(2), inst(2, 2), 8, 64),
+            Recorded::NewInstance
+        );
+        assert_eq!(
+            g.record(LockId(1), LockId(2), inst(2, 2), 8, 64),
+            Recorded::Duplicate
+        );
+        assert_eq!(g.lock_count(), 2);
+        assert_eq!(g.predecessors(LockId(2)).collect::<Vec<_>>(), [LockId(1)]);
+    }
+
+    #[test]
+    fn remove_lock_severs_both_directions_and_counts() {
+        let mut g = LockOrderGraph::default();
+        g.record(LockId(1), LockId(2), inst(1, 1), 8, 64);
+        g.record(LockId(2), LockId(3), inst(1, 2), 8, 64);
+        g.record(LockId(2), LockId(3), inst(2, 3), 8, 64);
+        g.record(LockId(3), LockId(1), inst(2, 4), 8, 64);
+        assert_eq!(g.instance_count(), 4);
+        let (edges, insts) = g.remove_lock(LockId(2));
+        assert_eq!((edges, insts), (2, 3));
+        assert_eq!(g.instance_count(), 1);
+        assert!(!g.has_node(LockId(2)));
+        assert!(g.successors(LockId(1)).next().is_none());
+        assert_eq!(g.predecessors(LockId(1)).collect::<Vec<_>>(), [LockId(3)]);
+        // The survivors keep working.
+        assert_eq!(
+            g.record(LockId(1), LockId(2), inst(3, 5), 8, 64),
+            Recorded::NewEdge
+        );
     }
 }
