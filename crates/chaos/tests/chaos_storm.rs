@@ -284,3 +284,32 @@ proptest! {
         prop_assert!(guard.fired().monitor_faults >= 1);
     }
 }
+
+/// Every checked-in corpus fixture — a minimized schedule the explorer
+/// proved deadlocks on a fresh runtime — is replayed here under an
+/// *immunized* runtime (vaccinated with the signature its own deadlock
+/// captures) while the fault-injection hooks are armed but quiet. None
+/// may deadlock: the corpus is the regression fence for the avoidance
+/// engine itself.
+#[test]
+fn corpus_fixtures_stay_immune_under_armed_hooks() {
+    use dimmunix_explore::{default_corpus_dir, load_dir, mine_vaccine, Scenario};
+
+    let _guard = install(FaultPlan::none());
+    let fixtures = load_dir(&default_corpus_dir()).expect("corpus dir loads");
+    assert!(fixtures.len() >= 3, "corpus too small: {}", fixtures.len());
+    for (path, fx) in fixtures {
+        let vax = tmp_path(&format!(
+            "chaos-corpus-{}",
+            path.file_stem().unwrap().to_string_lossy()
+        ));
+        std::fs::remove_file(&vax).ok();
+        mine_vaccine(&fx.scenario, &fx.schedule, 100_000, &vax)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let rt = Runtime::new(Scenario::small_config()).expect("runtime");
+        assert!(rt.vaccinate(&vax).expect("vaccinate") >= 1);
+        fx.verify_immunized(&rt)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        std::fs::remove_file(&vax).ok();
+    }
+}

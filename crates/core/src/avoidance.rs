@@ -1438,6 +1438,36 @@ impl AvoidanceCore {
         !ys.causes.is_empty() || ys.sig.is_some()
     }
 
+    /// Probe: the yield causes currently registered for `t` — the
+    /// `(thread, lock)` releases that would wake it. Empty when `t` is not
+    /// parked in a yield. Read-only; used by verification harnesses to
+    /// build wait-for edges and audit parked/woken accounting.
+    pub fn yield_causes(&self, t: ThreadId) -> Vec<YieldCause> {
+        let slot = t.0 as usize;
+        if slot >= self.slots.len() {
+            return Vec::new();
+        }
+        self.slots[slot].yield_state.lock().causes.clone()
+    }
+
+    /// Probe: every thread currently parked in an unconsumed yield, with
+    /// its causes. A thread listed here must eventually be woken by one of
+    /// its causes' releases, broken by the monitor, or timed out — a
+    /// completed program with a non-empty parked set is a lost wakeup.
+    pub fn parked_yielders(&self) -> Vec<(ThreadId, Vec<YieldCause>)> {
+        let mut parked = Vec::new();
+        for slot in 0..self.slots.len() {
+            if !self.slots[slot].yield_set.load(Ordering::Relaxed) {
+                continue;
+            }
+            let ys = self.slots[slot].yield_state.lock();
+            if !ys.causes.is_empty() || ys.sig.is_some() {
+                parked.push((ThreadId(slot as u64), ys.causes.clone()));
+            }
+        }
+        parked
+    }
+
     /// Rebuilds the match state — and publishes the match view — if the
     /// history generation moved. The monitor calls this once per pass so
     /// steady-state requests never pay for a rebuild inline; the hook paths

@@ -205,6 +205,21 @@ impl ReferenceCore {
         wake
     }
 
+    /// The pre-refactor equivalent of the sharded engine's `force_go`:
+    /// grants the request without consulting the history (used when a yield
+    /// is broken by the monitor or times out, §3). Records the `Allowed`
+    /// entry, clears the yielding registration, and emits the Go event —
+    /// byte-identical bookkeeping to the sharded path, so lockstep shadows
+    /// can follow starvation-break and timeout schedules.
+    pub fn force_go(&self, t: ThreadId, l: LockId, frames: &[FrameId], stack: StackId) {
+        self.state.with(t.0 as usize, |state| {
+            self.refresh(state);
+            Self::add_entry(state, t, l, frames, stack);
+            state.yielding.remove(&t);
+        });
+        self.queue.push(Event::Go { t, l, stack });
+    }
+
     /// The pre-refactor `cancel` hook.
     pub fn cancel(&self, t: ThreadId, l: LockId) {
         self.state.with(t.0 as usize, |state| {

@@ -1,0 +1,89 @@
+//! Trace minimization: shrink a deadlocking schedule to a short witness.
+//!
+//! A mined [`DeadlockSchedule`](crate::DeadlockSchedule) is whatever the
+//! DFS happened to be exploring — often padded with irrelevant decisions.
+//! The minimizer replays candidate schedules leniently (ineligible
+//! choices fall back, [`ReplayScheduler`] records the *effective* trace)
+//! against fresh runtimes and keeps any candidate that still reproduces
+//! the same wait-for fingerprint with strictly fewer decisions. The
+//! result is an effective trace: strict-replayable on a fresh runtime,
+//! which is what the corpus stores.
+
+use dimmunix_core::Runtime;
+use dimmunix_threadsim::{Outcome, ReplayScheduler};
+
+use crate::corpus::edges_fingerprint;
+use crate::scenario::Scenario;
+
+/// Shrinks `schedule` while preserving the deadlock identified by
+/// `fingerprint` (an [`edges_fingerprint`] value). Returns the shortest
+/// reproducing effective trace found — minimal under prefix-truncation
+/// and single-decision deletion.
+pub fn minimize(
+    scenario: &Scenario,
+    schedule: &[usize],
+    fingerprint: &str,
+    max_steps: u64,
+    mut make_runtime: impl FnMut() -> Runtime,
+) -> Vec<usize> {
+    let mut attempt = |choices: &[usize]| -> Option<Vec<usize>> {
+        let rt = make_runtime();
+        let mut sim = scenario.instantiate(&rt, Scenario::sim_config(max_steps), false);
+        let mut sched = ReplayScheduler::lenient(choices.iter().copied());
+        let report = sim.run_with(&mut sched);
+        drop(sim);
+        match &report.outcome {
+            Outcome::Deadlock { edges, .. } if edges_fingerprint(edges) == fingerprint => {
+                Some(sched.into_trace())
+            }
+            _ => None,
+        }
+    };
+
+    // Normalize to an effective trace first; if the input somehow fails
+    // to reproduce, hand it back unchanged.
+    let Some(mut best) = attempt(schedule) else {
+        return schedule.to_vec();
+    };
+
+    // Pass 1: shortest reproducing prefix (the lenient fallback finishes
+    // the run deterministically).
+    for k in 0..best.len() {
+        if let Some(trace) = attempt(&best[..k]) {
+            if trace.len() < best.len() {
+                best = trace;
+            }
+            break;
+        }
+    }
+
+    // Pass 2: chunk deletion (delta-debugging style) to fixpoint, with
+    // halving chunk sizes — paired decisions like a lock/unlock round
+    // only fall out together, so single-decision deletion alone gets
+    // stuck. Only strictly shorter effective traces are accepted, so
+    // this terminates.
+    for size in [8usize, 4, 2, 1] {
+        loop {
+            let mut improved = false;
+            let mut i = 0;
+            while i < best.len() {
+                let end = (i + size).min(best.len());
+                let mut cand = best.clone();
+                cand.drain(i..end);
+                match attempt(&cand) {
+                    Some(trace) if trace.len() < best.len() => {
+                        best = trace;
+                        improved = true;
+                        // Restart the scan: indices shifted.
+                        i = 0;
+                    }
+                    _ => i += 1,
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    best
+}

@@ -1,0 +1,63 @@
+//! The full verify pipeline on the canonical scenarios: exhaustive
+//! avoidance-off exploration (lockstep + no-lost-wakeup on every
+//! schedule), vaccine mining, and exhaustive vaccinated exploration that
+//! must complete everywhere.
+
+use dimmunix_explore::{scenarios, verify_scenario, ExploreConfig};
+
+#[test]
+fn ab_ba_verified_end_to_end() {
+    let rep = verify_scenario(&scenarios::ab_ba(), &ExploreConfig::default());
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.buggy.complete, "{}", rep.buggy.summary());
+    assert_eq!(rep.buggy.deadlocks.len(), 1);
+    assert_eq!(rep.vaccine_sigs, 1);
+    let imm = rep
+        .immune
+        .expect("a deadlock was mined, so an immune pass ran");
+    assert!(imm.complete, "{}", imm.summary());
+    assert_eq!(imm.deadlocked, 0);
+    assert_eq!(imm.exhausted, 0);
+    assert!(imm.runs >= 1);
+    assert_eq!(
+        imm.completed, imm.runs,
+        "every vaccinated schedule completes"
+    );
+}
+
+#[test]
+fn stacked_abba_verified_end_to_end() {
+    let rep = verify_scenario(&scenarios::stacked_abba(), &ExploreConfig::default());
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.buggy.complete);
+    let imm = rep.immune.expect("immune pass");
+    assert!(imm.complete);
+    assert_eq!(imm.completed, imm.runs);
+}
+
+#[test]
+fn ring3_verified_end_to_end() {
+    let rep = verify_scenario(&scenarios::ring(3), &ExploreConfig::default());
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert!(rep.buggy.complete);
+    assert_eq!(
+        rep.buggy.deadlocks.len(),
+        1,
+        "the 3-ring has one wait-for cycle"
+    );
+    let imm = rep.immune.expect("immune pass");
+    // The vaccinated space is much larger (yields and wakes add
+    // interleavings, and Global dependence disables per-lock pruning) —
+    // it must still be exhausted, all-completing.
+    assert!(imm.complete, "{}", imm.summary());
+    assert_eq!(imm.completed, imm.runs);
+    assert!(imm.runs > rep.buggy.runs);
+}
+
+#[test]
+fn harness_skips_immune_pass_when_nothing_deadlocks() {
+    let rep = verify_scenario(&scenarios::same_order(), &ExploreConfig::default());
+    assert!(rep.ok(), "violations: {:?}", rep.violations);
+    assert_eq!(rep.buggy.deadlocked, 0);
+    assert!(rep.immune.is_none());
+}

@@ -32,6 +32,32 @@ impl ExploreReport {
             self.deadlock_seeds.len() as f64 / total as f64
         }
     }
+
+    /// Whether any run ended by exhausting its step budget — an
+    /// *inconclusive* result, not a completion.
+    pub fn inconclusive(&self) -> bool {
+        !self.exhausted_seeds.is_empty()
+    }
+
+    /// One-line summary that keeps step-budget exhaustions distinct from
+    /// completions (a sweep that never finished is not a sweep that never
+    /// deadlocked).
+    pub fn summary(&self) -> String {
+        let total =
+            self.deadlock_seeds.len() + self.completed_seeds.len() + self.exhausted_seeds.len();
+        let mut s = format!(
+            "{total} runs: {} deadlocked, {} completed",
+            self.deadlock_seeds.len(),
+            self.completed_seeds.len(),
+        );
+        if self.inconclusive() {
+            s.push_str(&format!(
+                ", {} exhausted the step budget (inconclusive)",
+                self.exhausted_seeds.len()
+            ));
+        }
+        s
+    }
 }
 
 /// Runs `scenario` once per seed in `seeds`, collecting outcomes.
@@ -88,5 +114,23 @@ mod tests {
             "ABBA must deadlock under some schedule"
         );
         assert!(report.deadlock_rate() > 0.0);
+        assert!(!report.inconclusive());
+        assert!(report.summary().starts_with("8 runs:"));
+        assert!(!report.summary().contains("inconclusive"));
+    }
+
+    #[test]
+    fn summary_flags_exhausted_runs() {
+        let report = ExploreReport {
+            deadlock_seeds: vec![1],
+            completed_seeds: vec![2, 3],
+            exhausted_seeds: vec![4],
+            total_yields: 0,
+        };
+        assert!(report.inconclusive());
+        let s = report.summary();
+        assert!(s.contains("1 deadlocked"), "{s}");
+        assert!(s.contains("1 exhausted the step budget"), "{s}");
+        assert!(s.contains("inconclusive"), "{s}");
     }
 }

@@ -40,9 +40,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod explore;
+pub mod sched;
 pub mod script;
 pub mod sim;
 
 pub use explore::{explore, ExploreReport};
+pub use sched::{RandomScheduler, ReplayScheduler, SchedulePoint, Scheduler, StepClass};
 pub use script::{Op, Script};
-pub use sim::{LockHandle, Outcome, RunReport, Sim, SimConfig};
+pub use sim::{LockHandle, Outcome, RunReport, Sim, SimConfig, WaitEdge};

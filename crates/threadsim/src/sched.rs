@@ -1,0 +1,220 @@
+//! Pluggable scheduling: the simulator's single nondeterministic choice.
+//!
+//! Every run of [`crate::Sim`] is a sequence of *decision points*: moments
+//! where more than zero threads are runnable and one must be picked. All
+//! nondeterminism in a simulation lives in that pick — the rest of the
+//! simulator (lock hand-off order, monitor stepping, event draining) is a
+//! deterministic function of the pick sequence. Factoring the pick into a
+//! [`Scheduler`] trait is what turns the simulator from a sampler into a
+//! *model checker*: a recorded pick sequence replays a schedule exactly
+//! ([`ReplayScheduler`]), and an exploration driver (`dimmunix_explore`)
+//! can enumerate pick sequences systematically instead of rolling dice.
+//!
+//! Each decision point also exposes the [`StepClass`] of every eligible
+//! thread — whether its next step is thread-local bookkeeping or interacts
+//! with a lock (and, through the avoidance engine, with global matching
+//! state). Exploration drivers use the classes to decide which picks can
+//! commute; the built-in [`RandomScheduler`] ignores them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// What kind of step a thread would execute if scheduled now.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StepClass {
+    /// Thread-local bookkeeping: `Call`/`Return`, `Compute`, finishing the
+    /// script, or an `UnlockIfHeld` of a lock the thread does not hold.
+    /// Touches no lock and no shared engine state.
+    Local,
+    /// Interacts with the lock at this index (within the owning [`crate::Sim`]):
+    /// an acquire, try-acquire, release, or a yield-resume on it — and,
+    /// through the avoidance engine's request path, with global state.
+    Visible(usize),
+}
+
+/// One scheduling decision point, passed to [`Scheduler::pick`].
+#[derive(Debug)]
+pub struct SchedulePoint<'a> {
+    /// 0-based index of this decision within the run.
+    pub decision: u64,
+    /// Indices of the runnable threads, in ascending order. Never empty.
+    pub eligible: &'a [usize],
+    /// The step class each eligible thread would execute, parallel to
+    /// `eligible`.
+    pub classes: &'a [StepClass],
+}
+
+impl SchedulePoint<'_> {
+    /// The step class of eligible thread `v`, if `v` is eligible.
+    pub fn class_of(&self, v: usize) -> Option<StepClass> {
+        self.eligible
+            .iter()
+            .position(|&e| e == v)
+            .map(|i| self.classes[i])
+    }
+}
+
+/// The pluggable decision point: chooses which runnable thread steps next.
+pub trait Scheduler {
+    /// Returns the thread index to run. Must be a member of
+    /// `point.eligible`; the simulator asserts this.
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> usize;
+}
+
+/// The original seeded scheduler: a uniform choice over eligible threads.
+///
+/// Bit-compatible with the pre-refactor simulator — one `gen_range` call
+/// per decision point over the same eligible ordering — so seeded runs
+/// reproduce the exact schedules they always did.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// A scheduler seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub(crate) fn from_rng(rng: StdRng) -> Self {
+        Self { rng }
+    }
+
+    pub(crate) fn into_rng(self) -> StdRng {
+        self.rng
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> usize {
+        point.eligible[self.rng.gen_range(0..point.eligible.len())]
+    }
+}
+
+/// Replays a recorded pick sequence.
+///
+/// Consumes one recorded choice per decision point; when the recorded
+/// thread is not currently eligible — or the recording runs out — it falls
+/// back to the lowest eligible thread index. In *strict* mode such a
+/// fallback on a recorded choice marks the replay diverged (the schedule
+/// did not reproduce); in *lenient* mode it is expected, e.g. when a
+/// vaccinated history inserts yields that change eligibility mid-replay.
+///
+/// Every pick actually taken is recorded in [`ReplayScheduler::trace`],
+/// so the *effective* schedule of a lenient replay can itself be saved
+/// and replayed strictly.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    choices: VecDeque<usize>,
+    strict: bool,
+    trace: Vec<usize>,
+    first_divergence: Option<u64>,
+}
+
+impl ReplayScheduler {
+    /// Strict replay: a recorded-but-ineligible choice is a divergence.
+    pub fn strict(choices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            choices: choices.into_iter().collect(),
+            strict: true,
+            trace: Vec::new(),
+            first_divergence: None,
+        }
+    }
+
+    /// Lenient replay: ineligible or exhausted choices silently fall back.
+    pub fn lenient(choices: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            strict: false,
+            ..Self::strict(choices)
+        }
+    }
+
+    /// The picks actually taken so far.
+    pub fn trace(&self) -> &[usize] {
+        &self.trace
+    }
+
+    /// Consumes the scheduler, returning the effective pick sequence.
+    pub fn into_trace(self) -> Vec<usize> {
+        self.trace
+    }
+
+    /// The first decision index where a strict replay could not follow the
+    /// recording, if any.
+    pub fn first_divergence(&self) -> Option<u64> {
+        self.first_divergence
+    }
+
+    /// Whether a strict replay failed to follow the recording.
+    pub fn diverged(&self) -> bool {
+        self.first_divergence.is_some()
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, point: &SchedulePoint<'_>) -> usize {
+        let pick = match self.choices.pop_front() {
+            Some(c) if point.eligible.contains(&c) => c,
+            Some(_) => {
+                if self.strict && self.first_divergence.is_none() {
+                    self.first_divergence = Some(point.decision);
+                }
+                point.eligible[0]
+            }
+            None => point.eligible[0],
+        };
+        self.trace.push(pick);
+        pick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_follows_then_falls_back() {
+        let mut s = ReplayScheduler::strict([2, 0]);
+        let classes = [StepClass::Local, StepClass::Local];
+        let p = SchedulePoint {
+            decision: 0,
+            eligible: &[0, 2],
+            classes: &classes,
+        };
+        assert_eq!(s.pick(&p), 2);
+        // Recorded 0, but only thread 1 is eligible: strict divergence.
+        let p = SchedulePoint {
+            decision: 1,
+            eligible: &[1],
+            classes: &classes[..1],
+        };
+        assert_eq!(s.pick(&p), 1);
+        assert_eq!(s.first_divergence(), Some(1));
+        // Recording exhausted: fallback without (further) divergence.
+        let p = SchedulePoint {
+            decision: 2,
+            eligible: &[1, 3],
+            classes: &classes,
+        };
+        assert_eq!(s.pick(&p), 1);
+        assert_eq!(s.trace(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn lenient_replay_never_diverges() {
+        let mut s = ReplayScheduler::lenient([5]);
+        let classes = [StepClass::Visible(0)];
+        let p = SchedulePoint {
+            decision: 0,
+            eligible: &[0],
+            classes: &classes,
+        };
+        assert_eq!(s.pick(&p), 0);
+        assert!(!s.diverged());
+    }
+}

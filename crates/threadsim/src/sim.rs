@@ -1,11 +1,12 @@
 //! The cooperative scheduler.
 
+use crate::sched::{RandomScheduler, SchedulePoint, Scheduler, StepClass};
 use crate::script::{Op, Script};
 use dimmunix_core::ThreadId;
-use dimmunix_core::{Decision, Runtime, Signature, StatsSnapshot};
+use dimmunix_core::{Decision, ReferenceCore, Runtime, Signature, StatsSnapshot};
 use dimmunix_signature::{FrameId, StackId};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -38,6 +39,23 @@ impl Default for SimConfig {
     }
 }
 
+/// One edge of the wait-for graph at deadlock time: `waiter` cannot
+/// proceed until `lock` — currently held by `holder` — is released.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct WaitEdge {
+    /// The thread that cannot make progress.
+    pub waiter: &'static str,
+    /// The simulated lock it is waiting on.
+    pub lock: &'static str,
+    /// The thread holding that lock, if any ("none" can occur transiently
+    /// when a yield cause's holder already released but the wake was not
+    /// yet delivered — itself a diagnostic).
+    pub holder: Option<&'static str>,
+    /// `true` when the wait is an avoidance yield (parked by Dimmunix),
+    /// `false` when the thread is blocked in the lock itself.
+    pub via_yield: bool,
+}
+
 /// How a simulation ended.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Outcome {
@@ -47,6 +65,9 @@ pub enum Outcome {
     Deadlock {
         /// Names of the stuck threads.
         stuck: Vec<&'static str>,
+        /// The wait-for edges among them: who waits on which lock held by
+        /// whom. Minimizers and fixture formats key on these.
+        edges: Vec<WaitEdge>,
     },
     /// The step budget ran out.
     MaxSteps,
@@ -72,6 +93,16 @@ pub struct RunReport {
     /// Events the monitor drained from the per-thread lanes during this
     /// run — the embedded-mode view of the monitor-lag gauge.
     pub events_drained: u64,
+    /// Scheduling decision points in this run (the schedule's length).
+    pub decisions: u64,
+    /// Times a thread stopped being runnable: blocked on a held lock or
+    /// parked in an avoidance yield.
+    pub parks: u64,
+    /// Times a parked thread was made runnable again: a FIFO lock
+    /// hand-off, a yield-cause release, or a monitor starvation break.
+    /// On a completed run, `parks == wakes + yield_aborts` — every park
+    /// was resolved by a wake or a timeout, none was lost.
+    pub wakes: u64,
 }
 
 impl RunReport {
@@ -109,11 +140,26 @@ struct VThread {
 }
 
 struct SimLock {
-    #[allow(dead_code)] // Names aid debugging/DOT dumps.
     name: &'static str,
     id: dimmunix_core::LockId,
     owner: Option<usize>,
     waiters: VecDeque<usize>,
+}
+
+/// A lockstep shadow: the preserved single-lock [`ReferenceCore`] driven
+/// through the same hook sequence as the production sharded engine, with
+/// every GO/YIELD decision and wake set compared on the spot.
+struct Shadow {
+    core: ReferenceCore,
+    /// Shadow thread ids, parallel to `Sim::threads`.
+    tids: Vec<ThreadId>,
+    /// Human-readable divergence reports (empty = byte-identical streams).
+    divergences: Vec<String>,
+    /// Whether shadow tids numerically equal the runtime tids. Cover
+    /// *choice* (which instance binds) is order-sensitive in tid space, so
+    /// wake sets are only comparable when the numbering lines up; GO/YIELD
+    /// decisions are order-insensitive and always compared.
+    aligned: bool,
 }
 
 /// A deterministic simulation of virtual threads over one Dimmunix runtime.
@@ -135,6 +181,9 @@ pub struct Sim {
     threads: Vec<VThread>,
     time: u64,
     start_stats: StatsSnapshot,
+    shadow: Option<Shadow>,
+    parks: u64,
+    wakes: u64,
 }
 
 impl Sim {
@@ -153,7 +202,42 @@ impl Sim {
             threads: Vec::new(),
             time: 0,
             start_stats: rt.stats(),
+            shadow: None,
+            parks: 0,
+            wakes: 0,
         }
+    }
+
+    /// Attaches a lockstep [`ReferenceCore`] shadow sharing this runtime's
+    /// history and stack table. Every subsequent hook is mirrored into the
+    /// shadow and its GO/YIELD decision compared on the spot; divergences
+    /// accumulate in [`Sim::shadow_divergences`]. Must be called before
+    /// [`Sim::spawn`] so both engines see identical registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if threads were already spawned.
+    pub fn attach_shadow(&mut self) {
+        assert!(
+            self.threads.is_empty(),
+            "attach_shadow must be called before spawn()"
+        );
+        self.shadow = Some(Shadow {
+            core: ReferenceCore::new(
+                self.rt.config().clone(),
+                Arc::clone(self.rt.history()),
+                Arc::clone(self.rt.stack_table()),
+            ),
+            tids: Vec::new(),
+            divergences: Vec::new(),
+            aligned: true,
+        });
+    }
+
+    /// Divergence reports from the lockstep shadow (empty when no shadow
+    /// is attached, or when the decision streams matched byte for byte).
+    pub fn shadow_divergences(&self) -> &[String] {
+        self.shadow.as_ref().map_or(&[], |s| &s.divergences)
     }
 
     /// Declares a simulated lock.
@@ -179,6 +263,14 @@ impl Sim {
             .core()
             .register_thread()
             .expect("simulator thread registration failed: raise Config::max_threads");
+        if let Some(sh) = &mut self.shadow {
+            let stid = sh
+                .core
+                .register_thread()
+                .expect("shadow thread registration failed");
+            sh.aligned &= stid == tid;
+            sh.tids.push(stid);
+        }
         self.threads.push(VThread {
             name,
             tid,
@@ -214,8 +306,12 @@ impl Sim {
     /// Grants `lock` to `v` at the core level and updates sim state.
     fn grant(&mut self, v: usize, lock: usize, stack: StackId) {
         let tid = self.threads[v].tid;
+        let lid = self.locks[lock].id;
         self.locks[lock].owner = Some(v);
-        self.rt.core().acquired(tid, self.locks[lock].id, stack);
+        self.rt.core().acquired(tid, lid, stack);
+        if let Some(sh) = &mut self.shadow {
+            sh.core.acquired(sh.tids[v], lid, stack);
+        }
         self.threads[v].held.push(lock);
         self.threads[v].state = VState::Ready;
         self.threads[v].pc += 1;
@@ -229,6 +325,54 @@ impl Sim {
             self.locks[lock].waiters.push_back(v);
             self.threads[v].state = VState::Blocked(lock);
             self.threads[v].pending = Some((Vec::new(), stack));
+            self.parks += 1;
+        }
+    }
+
+    /// Mirrors a `request` into the shadow and compares the decision.
+    fn shadow_request(
+        &mut self,
+        v: usize,
+        lock: usize,
+        frames: &[FrameId],
+        stack: StackId,
+        primary_go: bool,
+    ) {
+        let lid = self.locks[lock].id;
+        let Some(sh) = &mut self.shadow else { return };
+        let d = sh.core.request(sh.tids[v], lid, frames, stack);
+        let shadow_go = matches!(d, Decision::Go);
+        if shadow_go != primary_go {
+            sh.divergences.push(format!(
+                "decision divergence: thread {} requesting {}: sharded {} vs reference {}",
+                self.threads[v].name,
+                self.locks[lock].name,
+                if primary_go { "GO" } else { "YIELD" },
+                if shadow_go { "GO" } else { "YIELD" },
+            ));
+        }
+    }
+
+    /// Mirrors a `force_go` into the shadow (broken or timed-out yield).
+    fn shadow_force_go(&mut self, v: usize, lock: usize, frames: &[FrameId], stack: StackId) {
+        let lid = self.locks[lock].id;
+        if let Some(sh) = &mut self.shadow {
+            sh.core.force_go(sh.tids[v], lid, frames, stack);
+        }
+    }
+
+    /// Mirrors a `cancel` into the shadow.
+    fn shadow_cancel(&mut self, v: usize, lock: usize) {
+        let lid = self.locks[lock].id;
+        if let Some(sh) = &mut self.shadow {
+            sh.core.cancel(sh.tids[v], lid);
+        }
+    }
+
+    /// Drains the shadow's event queue (stands in for its monitor).
+    fn drain_shadow(&self) {
+        if let Some(sh) = &self.shadow {
+            sh.core.drain_events(usize::MAX);
         }
     }
 
@@ -247,6 +391,7 @@ impl Sim {
                 self.rt
                     .core()
                     .force_go(tid, self.locks[lock].id, &frames, stack);
+                self.shadow_force_go(v, lock, &frames, stack);
                 self.threads[v].yield_sig = None;
                 self.threads[v].woken = false;
                 self.attempt_acquire(v, lock, stack);
@@ -263,6 +408,7 @@ impl Sim {
                 self.rt
                     .core()
                     .force_go(tid, self.locks[lock].id, &frames, stack);
+                self.shadow_force_go(v, lock, &frames, stack);
                 self.threads[v].woken = false;
                 self.attempt_acquire(v, lock, stack);
                 return;
@@ -277,12 +423,15 @@ impl Sim {
                 .request(tid, self.locks[lock].id, &frames, stack)
             {
                 Decision::Go => {
+                    self.shadow_request(v, lock, &frames, stack, true);
                     self.threads[v].yield_sig = None;
                     self.attempt_acquire(v, lock, stack);
                 }
                 Decision::Yield { sig } => {
+                    self.shadow_request(v, lock, &frames, stack, false);
                     self.threads[v].yield_sig = Some(sig);
                     self.threads[v].yield_since = self.time;
+                    self.parks += 1;
                 }
             }
             return;
@@ -314,13 +463,18 @@ impl Sim {
                     .core()
                     .request(tid, self.locks[lock].id, &frames, stack)
                 {
-                    Decision::Go => self.attempt_acquire(v, lock, stack),
+                    Decision::Go => {
+                        self.shadow_request(v, lock, &frames, stack, true);
+                        self.attempt_acquire(v, lock, stack);
+                    }
                     Decision::Yield { sig } => {
+                        self.shadow_request(v, lock, &frames, stack, false);
                         self.threads[v].state = VState::Yielding(lock);
                         self.threads[v].yield_sig = Some(sig);
                         self.threads[v].yield_since = self.time;
                         self.threads[v].woken = false;
                         self.threads[v].pending = Some((frames, stack));
+                        self.parks += 1;
                     }
                 }
             }
@@ -333,14 +487,18 @@ impl Sim {
                     .request(tid, self.locks[lock].id, &frames, stack)
                 {
                     Decision::Go => {
+                        self.shadow_request(v, lock, &frames, stack, true);
                         if self.locks[lock].owner.is_none() {
                             self.grant(v, lock, stack);
                             return;
                         }
                         self.rt.core().cancel(tid, self.locks[lock].id);
+                        self.shadow_cancel(v, lock);
                     }
                     Decision::Yield { .. } => {
+                        self.shadow_request(v, lock, &frames, stack, false);
                         self.rt.core().cancel(tid, self.locks[lock].id);
+                        self.shadow_cancel(v, lock);
                     }
                 }
                 self.threads[v].pc += 1;
@@ -361,6 +519,30 @@ impl Sim {
     fn do_unlock(&mut self, v: usize, lock: usize) {
         let tid = self.threads[v].tid;
         let wake = self.rt.core().release(tid, self.locks[lock].id);
+        if let Some(sh) = &mut self.shadow {
+            let shadow_wake = sh.core.release(sh.tids[v], self.locks[lock].id);
+            if sh.aligned {
+                // Map both wake sets to thread indices and compare. Cover
+                // choice is tid-order-sensitive, so this is only meaningful
+                // when the two engines share the tid numbering.
+                let mut a: Vec<usize> = wake
+                    .iter()
+                    .filter_map(|w| self.threads.iter().position(|t| t.tid == *w))
+                    .collect();
+                let mut b: Vec<usize> = shadow_wake
+                    .iter()
+                    .filter_map(|w| sh.tids.iter().position(|t| t == w))
+                    .collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                if a != b {
+                    sh.divergences.push(format!(
+                        "wake divergence: {} releasing {}: sharded wakes {:?} vs reference {:?}",
+                        self.threads[v].name, self.locks[lock].name, a, b
+                    ));
+                }
+            }
+        }
         if let Some(pos) = self.threads[v].held.iter().rposition(|&h| h == lock) {
             self.threads[v].held.remove(pos);
         }
@@ -372,11 +554,15 @@ impl Sim {
                 .as_ref()
                 .map(|(_, s)| *s)
                 .expect("blocked thread has a pending stack");
+            self.wakes += 1;
             self.grant(next, lock, stack);
         }
         // Wake yielding threads whose cause was (tid, lock).
         for w in wake {
             if let Some(idx) = self.threads.iter().position(|t| t.tid == w) {
+                if !self.threads[idx].woken {
+                    self.wakes += 1;
+                }
                 self.threads[idx].woken = true;
             }
         }
@@ -402,9 +588,26 @@ impl Sim {
         }
     }
 
-    /// Runs to completion, deadlock, or step exhaustion.
+    /// Runs to completion, deadlock, or step exhaustion under the built-in
+    /// seeded [`RandomScheduler`] (the seed passed at construction).
     pub fn run(&mut self) -> RunReport {
+        // Hand the sim's own rng to a RandomScheduler for the duration, so
+        // seeded runs consume the exact same random stream as they did
+        // before the scheduler became pluggable.
+        let rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        let mut sched = RandomScheduler::from_rng(rng);
+        let report = self.run_with(&mut sched);
+        self.rng = sched.into_rng();
+        report
+    }
+
+    /// Runs to completion, deadlock, or step exhaustion, asking `sched`
+    /// which eligible thread steps at every decision point.
+    pub fn run_with(&mut self, sched: &mut dyn Scheduler) -> RunReport {
+        self.parks = 0;
+        self.wakes = 0;
         let mut steps = 0_u64;
+        let mut decisions = 0_u64;
         let mut last_monitor = 0_u64;
         let outcome = loop {
             if steps >= self.config.max_steps {
@@ -415,11 +618,10 @@ impl Sim {
             if self.time - last_monitor >= self.config.monitor_every {
                 last_monitor = self.time;
                 self.rt.step_monitor();
+                self.drain_shadow();
                 self.poll_breaks();
                 if self.config.stop_on_deadlock && self.deadlock_delta() > 0 {
-                    break Outcome::Deadlock {
-                        stuck: self.stuck_names(),
-                    };
+                    break self.deadlock_outcome();
                 }
             }
             let eligible: Vec<usize> = (0..self.threads.len())
@@ -432,12 +634,11 @@ impl Sim {
                 // Quiescent but unfinished: give the monitor a chance to
                 // detect and break, then advance time to yield timeouts.
                 self.rt.step_monitor();
+                self.drain_shadow();
                 last_monitor = self.time;
                 self.poll_breaks();
                 if self.config.stop_on_deadlock && self.deadlock_delta() > 0 {
-                    break Outcome::Deadlock {
-                        stuck: self.stuck_names(),
-                    };
+                    break self.deadlock_outcome();
                 }
                 if self.threads.iter().any(|t| t.woken) {
                     continue;
@@ -462,19 +663,31 @@ impl Sim {
                     Some(_) => continue,
                     None => {
                         // Nothing can ever run again: a real deadlock.
+                        let outcome = self.deadlock_outcome();
                         self.rt.step_monitor();
-                        break Outcome::Deadlock {
-                            stuck: self.stuck_names(),
-                        };
+                        self.drain_shadow();
+                        break outcome;
                     }
                 }
             }
-            let pick = eligible[self.rng.gen_range(0..eligible.len())];
+            let classes: Vec<StepClass> = eligible.iter().map(|&v| self.step_class(v)).collect();
+            let point = SchedulePoint {
+                decision: decisions,
+                eligible: &eligible,
+                classes: &classes,
+            };
+            let pick = sched.pick(&point);
+            assert!(
+                eligible.contains(&pick),
+                "scheduler picked ineligible thread {pick} (eligible {eligible:?})"
+            );
+            decisions += 1;
             self.run_slot(pick);
         };
         // Trial over: drain events and clean up the RAG (the "program" has
         // terminated or been restarted).
         self.rt.step_monitor();
+        self.drain_shadow();
         let end = self.rt.stats();
         RunReport {
             outcome,
@@ -485,7 +698,99 @@ impl Sim {
             signatures_added: end.signatures_added - self.start_stats.signatures_added,
             yield_aborts: end.yield_aborts - self.start_stats.yield_aborts,
             events_drained: end.events_processed - self.start_stats.events_processed,
+            decisions,
+            parks: self.parks,
+            wakes: self.wakes,
         }
+    }
+
+    /// The step class thread `v` would execute if scheduled now (see
+    /// [`StepClass`]). Dynamic: an `UnlockIfHeld` of an unheld lock is
+    /// local, a yield-resume is visible on the yielded lock.
+    fn step_class(&self, v: usize) -> StepClass {
+        let t = &self.threads[v];
+        if let VState::Yielding(lock) = t.state {
+            return StepClass::Visible(lock);
+        }
+        match t.ops.get(t.pc).copied() {
+            None | Some(Op::Call(_)) | Some(Op::Return) | Some(Op::Compute(_)) => StepClass::Local,
+            Some(Op::Lock(LockHandle(l), _))
+            | Some(Op::TryLock(LockHandle(l), _))
+            | Some(Op::Unlock(LockHandle(l))) => StepClass::Visible(l),
+            Some(Op::UnlockIfHeld(LockHandle(l))) => {
+                if t.held.contains(&l) {
+                    StepClass::Visible(l)
+                } else {
+                    StepClass::Local
+                }
+            }
+        }
+    }
+
+    fn deadlock_outcome(&self) -> Outcome {
+        Outcome::Deadlock {
+            stuck: self.stuck_names(),
+            edges: self.wait_edges(),
+        }
+    }
+
+    /// The wait-for edges among unfinished threads: blocked waits read the
+    /// simulated lock table, yield waits read the core's registered causes
+    /// through the probe surface.
+    fn wait_edges(&self) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        for t in &self.threads {
+            match t.state {
+                VState::Blocked(l) => edges.push(WaitEdge {
+                    waiter: t.name,
+                    lock: self.locks[l].name,
+                    holder: self.locks[l].owner.map(|o| self.threads[o].name),
+                    via_yield: false,
+                }),
+                VState::Yielding(l) => {
+                    let causes = self.rt.core().yield_causes(t.tid);
+                    if causes.is_empty() {
+                        // Cause already cleared (broken yield not yet
+                        // resumed): fall back to the yielded lock itself.
+                        edges.push(WaitEdge {
+                            waiter: t.name,
+                            lock: self.locks[l].name,
+                            holder: self.locks[l].owner.map(|o| self.threads[o].name),
+                            via_yield: true,
+                        });
+                    }
+                    for c in causes {
+                        edges.push(WaitEdge {
+                            waiter: t.name,
+                            lock: self
+                                .locks
+                                .iter()
+                                .find(|sl| sl.id == c.lock)
+                                .map_or("<extern>", |sl| sl.name),
+                            holder: self
+                                .threads
+                                .iter()
+                                .find(|th| th.tid == c.thread)
+                                .map(|th| th.name),
+                            via_yield: true,
+                        });
+                    }
+                }
+                VState::Ready | VState::Done => {}
+            }
+        }
+        edges
+    }
+
+    /// Names of this sim's threads the core still counts as parked in a
+    /// yield — on a completed run this must be empty (no lost wakeups).
+    pub fn parked_yielders(&self) -> Vec<&'static str> {
+        let parked = self.rt.core().parked_yielders();
+        self.threads
+            .iter()
+            .filter(|t| parked.iter().any(|(pt, _)| *pt == t.tid))
+            .map(|t| t.name)
+            .collect()
     }
 
     /// Marks yielders whose yield the monitor just broke as eligible.
@@ -499,6 +804,9 @@ impl Sim {
             }
             if matches!(self.threads[v].state, VState::Yielding(_)) {
                 // The monitor cleared the yield (break): schedule a resume.
+                if !self.threads[v].woken {
+                    self.wakes += 1;
+                }
                 self.threads[v].woken = true;
             }
         }
@@ -524,6 +832,12 @@ impl Sim {
 
 impl Drop for Sim {
     fn drop(&mut self) {
+        if let Some(sh) = &self.shadow {
+            for &tid in &sh.tids {
+                sh.core.unregister_thread(tid);
+            }
+            sh.core.drain_events(usize::MAX);
+        }
         for t in &self.threads {
             self.rt.core().unregister_thread(t.tid);
         }

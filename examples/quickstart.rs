@@ -37,8 +37,16 @@ fn main() {
     let mut exploit = None;
     for seed in 0..64 {
         let report = scenario(&rt, seed);
-        if let Outcome::Deadlock { stuck } = &report.outcome {
+        if let Outcome::Deadlock { stuck, edges } = &report.outcome {
             println!("seed {seed}: DEADLOCK between {stuck:?}");
+            for e in edges {
+                println!(
+                    "  {} waits on {} held by {}",
+                    e.waiter,
+                    e.lock,
+                    e.holder.unwrap_or("<nobody>")
+                );
+            }
             exploit = Some(seed);
             break;
         }

@@ -23,6 +23,7 @@
 //! | [`predict`](dimmunix_predict) | proactive lock-order-graph deadlock prediction |
 //! | [`lockfree`](dimmunix_lockfree) | MPSC event queue, Peterson locks |
 //! | [`threadsim`](dimmunix_threadsim) | deterministic interleaving simulator |
+//! | [`explore`](dimmunix_explore) | DPOR schedule-space explorer + deadlock corpus |
 //! | `dimmunix-workloads` | the paper's Table 1 / Table 2 bug reproductions |
 //! | `dimmunix-baselines` | gate locks / ghost locks (§7.3 comparison) |
 //! | `dimmunix-bench` | per-figure/table benchmark harness |
@@ -76,4 +77,10 @@ pub mod signature {
 /// Re-export of the proactive deadlock-prediction subsystem.
 pub mod predict {
     pub use dimmunix_predict::*;
+}
+
+/// Re-export of the exhaustive schedule-space explorer (DPOR model
+/// checking, invariant harness, deadlock corpus).
+pub mod explore {
+    pub use dimmunix_explore::*;
 }
